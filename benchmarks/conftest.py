@@ -1,0 +1,42 @@
+"""Shared benchmark configuration and the cached execution matrix.
+
+Every benchmark runs its experiment exactly once (pedantic, one round)
+and writes its text report to ``results/``.  Figures 15-17 share the
+expensive full system x workload matrix through a session fixture.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_matrix
+from repro.systems import SYSTEM_NAMES
+
+#: The benchmark evaluation configuration: full suite, quarter-scale
+#: footprints with shrunken caches (footprint >> cache, as in the
+#: paper's inflated-volume setup).
+BENCH_CONFIG = ExperimentConfig(scale=0.25)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def full_matrix(bench_config):
+    """The 15-workload x 11-system execution matrix (run once)."""
+    return run_matrix(bench_config, list(SYSTEM_NAMES))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one experiment's text report."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

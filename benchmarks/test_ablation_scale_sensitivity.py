@@ -1,0 +1,35 @@
+"""Ablation: result stability across footprint scales.
+
+The reproduction runs at scaled-down footprints; the paper's claims
+are about *ratios*.  This bench verifies the headline DRAM-less vs
+Hetero ratio is stable (within a factor band) across a 4x scale sweep,
+i.e. the conclusions do not hinge on the chosen scale.
+"""
+
+from repro.accel import AcceleratorConfig
+from repro.systems import SystemConfig, build_system
+from repro.workloads import generate_traces, workload
+
+
+def ratio_at_scale(scale: float, name: str = "gemver") -> float:
+    config = SystemConfig(
+        accelerator=AcceleratorConfig(l1_bytes=2048, l2_bytes=16384),
+        dram_fraction=0.4)
+    bundle = generate_traces(workload(name), agents=7, scale=scale,
+                             seed=1)
+    dramless = build_system("DRAM-less", config).run(bundle)
+    hetero = build_system("Hetero", config).run(bundle)
+    return dramless.bandwidth_mb_s / hetero.bandwidth_mb_s
+
+
+def test_ablation_scale_sensitivity(benchmark):
+    ratios = benchmark.pedantic(
+        lambda: {scale: ratio_at_scale(scale)
+                 for scale in (0.1, 0.25, 0.5)},
+        rounds=1, iterations=1)
+    # DRAM-less wins at every scale...
+    for scale, ratio in ratios.items():
+        assert ratio > 1.2, f"scale {scale}: ratio {ratio}"
+    # ...and the ratio stays within a 2x band across the sweep.
+    values = list(ratios.values())
+    assert max(values) / min(values) < 2.0

@@ -1,0 +1,32 @@
+"""Ablation: PE store-buffer depth.
+
+The agents' store buffers hide PRAM program latency until they fill.
+Sweep the depth on a write-intensive workload (doitg).
+"""
+
+import dataclasses
+
+from repro.accel import AcceleratorConfig
+from repro.systems import SystemConfig
+from repro.systems.pram_accel import DramlessSystem
+from repro.workloads import generate_traces, workload
+
+
+def run_depth(depth: int) -> float:
+    config = SystemConfig(accelerator=AcceleratorConfig(
+        l1_bytes=2048, l2_bytes=16384, store_buffer_depth=depth))
+    bundle = generate_traces(workload("doitg"), agents=7, scale=0.1,
+                             seed=1)
+    return DramlessSystem(config).run(bundle).total_ns
+
+
+def test_ablation_store_buffer(benchmark):
+    times = benchmark.pedantic(
+        lambda: {d: run_depth(d) for d in (1, 4, 16)},
+        rounds=1, iterations=1)
+    # Ablation finding: on a write-bound workload the PRAM subsystem's
+    # program throughput is the bottleneck, so buffer depth barely
+    # moves total time — the buffer's job is reordering *where* the
+    # wait happens, not removing it.  All depths land within 10%.
+    best, worst = min(times.values()), max(times.values())
+    assert worst <= best * 1.10

@@ -1,0 +1,20 @@
+"""Figure 1: conventional accelerated system vs the idealized one."""
+
+from benchmarks.conftest import write_report
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        fig01_motivation.run, args=(bench_config,), rounds=1, iterations=1)
+
+    write_report(results_dir, "fig01_motivation",
+                 fig01_motivation.report(result))
+    # Paper: performance degrades as much as 74%; energy inflates ~9x.
+    # Shape claims: substantial degradation, substantial energy blowup.
+    assert 0.30 <= result["max_degradation"] <= 0.95
+    assert result["mean_energy_ratio"] >= 2.0
+    # Every workload must degrade (data movement is never free).
+    for row in result["rows"]:
+        assert row["normalized_performance"] < 1.0
+        assert row["energy_ratio"] > 1.0

@@ -1,0 +1,18 @@
+"""Figure 7: firmware-managed PRAM vs the oracle (hardware) controller."""
+
+from benchmarks.conftest import write_report
+from repro.experiments import fig07_firmware
+
+
+def test_fig07_firmware(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        fig07_firmware.run, args=(bench_config,), rounds=1, iterations=1)
+
+    write_report(results_dir, "fig07_firmware",
+                 fig07_firmware.report(result))
+    # Paper: firmware degrades the system by up to 80% on
+    # data-intensive workloads.  Shape: every workload degrades, and
+    # the worst case is substantial.
+    for row in result["rows"]:
+        assert row["normalized_performance"] < 1.0
+    assert result["max_degradation"] >= 0.35

@@ -1,0 +1,25 @@
+"""Figure 19: total-IPC time series under doitg (write-intensive)."""
+
+from benchmarks.conftest import write_report
+from repro.experiments import fig18_19_ipc
+
+
+def test_fig19_ipc_write(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        fig18_19_ipc.run_figure19, args=(bench_config,),
+        rounds=1, iterations=1)
+
+    write_report(results_dir, "fig19_ipc_doitg",
+                 fig18_19_ipc.report(result))
+    mean_ipc = result["mean_ipc"]
+    # Paper: under the write-intensive workload DRAM-less keeps the
+    # highest total IPC (5.1x/10.3x/15x/1.9x over Integrated-SLC/MLC/
+    # TLC/PAGE-buffer); NOR degrades hard (78% worse than DRAM-less)
+    # because its legacy writes are an order slower.
+    for name in ("Integrated-SLC", "Integrated-MLC", "Integrated-TLC",
+                 "PAGE-buffer", "NOR-intf"):
+        assert mean_ipc["DRAM-less"] > mean_ipc[name], name
+    assert mean_ipc["NOR-intf"] < mean_ipc["DRAM-less"] * 0.6
+    # Flash stalls grow with cell density.
+    stalls = result["stall_fraction"]
+    assert stalls["Integrated-TLC"] >= stalls["Integrated-SLC"] - 0.05

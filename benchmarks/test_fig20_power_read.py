@@ -1,0 +1,24 @@
+"""Figure 20: core power and total energy, first 16 KB of gemver."""
+
+from benchmarks.conftest import write_report
+from repro.experiments import fig20_21_power
+
+
+def test_fig20_power_read(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        fig20_21_power.run_figure20, args=(bench_config,),
+        rounds=1, iterations=1)
+
+    write_report(results_dir, "fig20_power_gemver",
+                 fig20_21_power.report(result))
+    energy = result["energy_mj"]
+    completion = result["completion_ns"]
+    # Paper: Integrated-SLC and PAGE-buffer take longer to actually
+    # complete and burn more energy than DRAM-less (7x / 1.9x).
+    assert completion["DRAM-less"] <= completion["Integrated-SLC"]
+    assert completion["DRAM-less"] <= completion["PAGE-buffer"]
+    assert energy["DRAM-less"] < energy["Integrated-SLC"]
+    assert energy["DRAM-less"] < energy["PAGE-buffer"]
+    # NOR's longer run costs it more total energy than DRAM-less
+    # (paper: +32%) despite its lower instantaneous PE power.
+    assert energy["NOR-intf"] > energy["DRAM-less"]

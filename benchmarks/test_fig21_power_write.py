@@ -1,0 +1,22 @@
+"""Figure 21: core power and total energy, first 16 KB of doitg."""
+
+from benchmarks.conftest import write_report
+from repro.experiments import fig20_21_power
+
+
+def test_fig21_power_write(benchmark, bench_config, results_dir):
+    result = benchmark.pedantic(
+        fig20_21_power.run_figure21, args=(bench_config,),
+        rounds=1, iterations=1)
+
+    write_report(results_dir, "fig21_power_doitg",
+                 fig20_21_power.report(result))
+    completion = result["completion_ns"]
+    energy = result["energy_mj"]
+    # Paper: NOR-interf takes ~4x longer than PAGE-buffer on the same
+    # write-intensive task; DRAM-less completes 50-88% sooner than the
+    # alternatives.
+    assert completion["NOR-intf"] > completion["PAGE-buffer"] * 2.0
+    for name in ("Integrated-SLC", "PAGE-buffer", "NOR-intf"):
+        assert completion["DRAM-less"] < completion[name], name
+    assert energy["DRAM-less"] == min(energy.values())

@@ -1,0 +1,46 @@
+"""Simulator-performance benchmarks (wall-clock, not simulated time).
+
+These measure the discrete-event kernel itself — useful for spotting
+regressions in the engine that every experiment's runtime depends on.
+"""
+
+from repro.controller import MemoryRequest, Op, PramSubsystem
+from repro.sim import Simulator
+
+
+def drive_read_stream(requests: int = 512) -> float:
+    """Simulate a read stream; returns the simulated end time."""
+    sim = Simulator()
+    subsystem = PramSubsystem(sim)
+
+    def driver():
+        for index in range(requests):
+            request = MemoryRequest(Op.READ, (index * 512) % (1 << 20),
+                                    512)
+            yield sim.process(subsystem.submit(request))
+
+    sim.process(driver())
+    sim.run()
+    return sim.now
+
+
+def test_perf_subsystem_read_stream(benchmark):
+    simulated_ns = benchmark(drive_read_stream)
+    assert simulated_ns > 0
+
+
+def test_perf_event_kernel(benchmark):
+    """Raw kernel throughput: ping-pong between two processes."""
+
+    def ping_pong(rounds: int = 5_000) -> float:
+        sim = Simulator()
+
+        def pinger():
+            for _ in range(rounds):
+                yield sim.timeout(1.0)
+
+        sim.process(pinger())
+        sim.run()
+        return sim.now
+
+    assert benchmark(ping_pong) == 5_000.0

@@ -1,0 +1,18 @@
+"""Table I: evaluated-system configuration parameters."""
+
+from benchmarks.conftest import write_report
+from repro.experiments import tables
+
+
+def test_table1_configuration(benchmark, results_dir):
+    rows = benchmark.pedantic(tables.table1_configuration,
+                              rounds=1, iterations=1)
+    by_name = {row["system"]: row for row in rows}
+    # Table I's key cells.
+    assert by_name["Hetero"]["nvm_write_us"] == 800.0       # MLC flash
+    assert by_name["Hetero-PRAM"]["nvm_read_us"] == 0.1
+    assert by_name["Integrated-SLC"]["nvm_read_us"] == 25.0
+    assert by_name["Integrated-TLC"]["nvm_write_us"] == 1250.0
+    assert by_name["DRAM-less"]["internal_dram"] is False
+    assert by_name["PAGE-buffer"]["internal_dram"] is True
+    write_report(results_dir, "table1", tables.report())

@@ -1,0 +1,21 @@
+"""Table II: characterized PRAM parameters."""
+
+from repro.experiments import tables
+
+
+def test_table2_parameters(benchmark):
+    params = benchmark.pedantic(tables.table2_pram_parameters,
+                                rounds=1, iterations=1)
+    assert params["RL_cycles"] == 6
+    assert params["WL_cycles"] == 3
+    assert params["tCK_ns"] == 2.5
+    assert params["tRP_cycles"] == 3
+    assert params["tRCD_ns"] == 80.0
+    assert params["tWR_ns"] == 15.0
+    assert params["RAB"] == 4
+    assert params["RDB"] == 4
+    assert params["RDB_bytes"] == 32
+    assert params["channels"] == 2
+    assert params["packages"] == 16
+    assert params["partitions"] == 16
+    assert params["write_us"] == (10.0, 18.0)

@@ -1,0 +1,20 @@
+"""Table III: workload characteristics."""
+
+from repro.experiments import tables
+from repro.workloads import Category, workloads_in
+
+
+def test_table3_workloads(benchmark):
+    rows = benchmark.pedantic(tables.table3_workloads,
+                              rounds=1, iterations=1)
+    assert len(rows) == 15
+    by_name = {row["workload"]: row for row in rows}
+    # The paper's write-intensiveness classification (output per input).
+    assert by_name["doitg"]["write_ratio"] > 0.5
+    assert by_name["durbin"]["write_ratio"] < 0.1
+    # Memory-intensive workloads carry the largest volumes.
+    memory = [by_name[w.name]["input_kb"] + by_name[w.name]["output_kb"]
+              for w in workloads_in(Category.MEMORY_INTENSIVE)]
+    reads = [by_name[w.name]["input_kb"] + by_name[w.name]["output_kb"]
+             for w in workloads_in(Category.READ_INTENSIVE)]
+    assert min(memory) > max(reads)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Define your own workload and evaluate it on any system.
+
+The library is not limited to the Polybench suite: any application can
+be characterized as a :class:`~repro.workloads.WorkloadSpec` (footprint,
+read/write mix, compute intensity, access regularity, kernel rounds)
+and run on every Table I system.  This example models a streaming
+key-value scan with a small aggregation output — the kind of analytics
+kernel the paper's introduction motivates.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.accel import AcceleratorConfig
+from repro.systems import SystemConfig, build_system
+from repro.workloads import Category, WorkloadSpec, generate_traces
+
+#: A scan-heavy analytics kernel: reads a large table once per pass,
+#: emits a small aggregate, two passes (filter then aggregate).
+KV_SCAN = WorkloadSpec(
+    name="kvscan",
+    full_name="Key-value table scan with aggregation",
+    category=Category.MEMORY_INTENSIVE,
+    input_kb=512,              # the table
+    output_kb=32,              # the aggregates
+    compute_ops_per_byte=1.5,  # predicate + hash per record
+    reuse_factor=0.05,         # nearly pure streaming
+    sequential=True,
+    kernel_rounds=2,
+)
+
+SYSTEMS = ("Hetero", "Heterodirect", "Integrated-SLC", "PAGE-buffer",
+           "DRAM-less")
+
+
+def main() -> None:
+    bundle = generate_traces(KV_SCAN, agents=7, scale=0.25, seed=7)
+    config = SystemConfig(
+        accelerator=AcceleratorConfig(l1_bytes=2048, l2_bytes=16384),
+        dram_fraction=0.4)
+
+    print(f"workload: {KV_SCAN.full_name}")
+    print(f"  {bundle.input_bytes / 1024:.0f} KB scanned per round, "
+          f"{bundle.round_count} rounds, write ratio "
+          f"{KV_SCAN.write_ratio:.2f}")
+    print(f"{'system':16s} {'time (ms)':>10s} {'MB/s':>8s} "
+          f"{'energy (mJ)':>12s}")
+
+    baseline = None
+    for name in SYSTEMS:
+        result = build_system(name, config).run(bundle)
+        if baseline is None:
+            baseline = result
+        print(f"{name:16s} {result.total_ns / 1e6:10.3f} "
+              f"{result.bandwidth_mb_s:8.1f} {result.energy_mj:12.3f}")
+
+    print("\nBecause the table lives *in* the accelerator's PRAM, the "
+          "DRAM-less scan\nskips the per-pass staging every host-"
+          "coordinated system pays.")
+
+
+if __name__ == "__main__":
+    main()

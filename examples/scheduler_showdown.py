@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Scheduler showdown: the four PRAM subsystem policies of Figure 13.
+
+Replays a mixed read/write request stream (7 concurrent agents, like
+the accelerator's PEs) against the PRAM subsystem under bare-metal,
+interleaving, selective-erasing, and final scheduling, and prints the
+achieved bandwidth of each.
+
+Run:  python examples/scheduler_showdown.py
+"""
+
+from repro.controller import PramSubsystem, SchedulerPolicy
+from repro.sim import Simulator
+
+AGENTS = 7
+BLOCKS_PER_AGENT = 48
+BLOCK = 512
+OUTPUT_BASE = 1 << 22
+WRITE_EVERY = 3  # one output write per three input reads
+
+
+def agent_stream(sim, subsystem, agent, totals):
+    base = agent * BLOCKS_PER_AGENT * BLOCK
+    for index in range(BLOCKS_PER_AGENT):
+        yield sim.process(subsystem.read(base + index * BLOCK, BLOCK))
+        totals["bytes"] += BLOCK
+        if index % WRITE_EVERY == 0:
+            address = OUTPUT_BASE + base + index * BLOCK
+            yield sim.process(subsystem.write(address, b"\xA5" * BLOCK))
+            totals["bytes"] += BLOCK
+
+
+def bandwidth(policy) -> float:
+    sim = Simulator()
+    subsystem = PramSubsystem(sim, policy=policy)
+    # Preload inputs and mark the output region as previously written,
+    # so writes are genuine overwrites (the selective-erase scenario).
+    for agent in range(AGENTS):
+        base = agent * BLOCKS_PER_AGENT * BLOCK
+        subsystem.preload(base, bytes([agent + 1]) * (BLOCKS_PER_AGENT
+                                                      * BLOCK))
+        subsystem.preload(OUTPUT_BASE + base,
+                          bytes([0xEE]) * (BLOCKS_PER_AGENT * BLOCK))
+    subsystem.register_write_hint(OUTPUT_BASE,
+                                  AGENTS * BLOCKS_PER_AGENT * BLOCK)
+    totals = {"bytes": 0}
+
+    def driver():
+        drain = sim.process(subsystem.drain_hints())
+        agents = [sim.process(agent_stream(sim, subsystem, a, totals))
+                  for a in range(AGENTS)]
+        yield sim.all_of(agents + [drain])
+
+    proc = sim.process(driver())
+    sim.run()
+    assert proc.ok, proc.value
+    return totals["bytes"] / sim.now * 1e3  # MB/s
+
+
+def main() -> None:
+    policies = (SchedulerPolicy.BARE_METAL, SchedulerPolicy.INTERLEAVING,
+                SchedulerPolicy.SELECTIVE_ERASE, SchedulerPolicy.FINAL)
+    results = {policy: bandwidth(policy) for policy in policies}
+    baseline = results[SchedulerPolicy.BARE_METAL]
+    print(f"{'policy':18s} {'MB/s':>9s} {'vs bare-metal':>14s}")
+    for policy in policies:
+        gain = results[policy] / baseline - 1.0
+        print(f"{policy.value:18s} {results[policy]:9.1f} {gain:+13.1%}")
+    print("\nFigure 13's story: interleaving overlaps array access with "
+          "data transfer;\nselective erasing turns 18 us overwrites into "
+          "10 us SET-only programs;\nFinal (the DRAM-less default) "
+          "combines both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Compare accelerated systems on one Polybench workload (Figure 15/17).
+
+Runs a workload (default: gemver) on a chosen set of Table I systems
+and prints throughput normalized to Hetero plus total energy — a
+single-workload slice of Figures 15 and 17.
+
+Run:  python examples/system_comparison.py [workload] [scale]
+"""
+
+import sys
+
+from repro.accel import AcceleratorConfig
+from repro.systems import SystemConfig, build_system
+from repro.workloads import generate_traces, workload
+
+SYSTEMS = ("Hetero", "Heterodirect", "Hetero-PRAM", "Heterodirect-PRAM",
+           "NOR-intf", "Integrated-SLC", "Integrated-MLC",
+           "Integrated-TLC", "PAGE-buffer", "DRAM-less (firmware)",
+           "DRAM-less")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gemver"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    spec = workload(name)
+    bundle = generate_traces(spec, agents=7, scale=scale, seed=1)
+    config = SystemConfig(
+        accelerator=AcceleratorConfig(l1_bytes=2048, l2_bytes=16384),
+        dram_fraction=0.5)
+
+    print(f"workload: {spec.full_name} ({spec.category.value}, "
+          f"write ratio {spec.write_ratio:.2f}, "
+          f"{bundle.round_count} kernel rounds, "
+          f"{bundle.total_bytes / 1024:.0f} KB processed)")
+    print(f"{'system':22s} {'time (ms)':>10s} {'MB/s':>8s} "
+          f"{'vs Hetero':>10s} {'energy (mJ)':>12s}")
+
+    baseline = None
+    for system_name in SYSTEMS:
+        result = build_system(system_name, config).run(bundle)
+        if baseline is None:
+            baseline = result
+        print(f"{system_name:22s} {result.total_ns / 1e6:10.3f} "
+              f"{result.bandwidth_mb_s:8.1f} "
+              f"{result.normalized_to(baseline):10.2f} "
+              f"{result.energy_mj:12.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quick calibration sweep: geomean normalized bandwidth per system.
+
+Compares the model's shape against the paper's headline ratios:
+Heterodirect/Hetero ~ 1.25, DRAM-less/Hetero ~ 1.93,
+DRAM-less/Heterodirect ~ 1.47, DRAM-less/DRAM-less(fw) ~ 1.25,
+DRAM-less/PAGE-buffer ~ 1.64.
+"""
+
+import math
+import sys
+
+from repro.accel import AcceleratorConfig
+from repro.systems import SystemConfig, build_system
+from repro.workloads import generate_traces, workload
+
+NAMES = ["Hetero", "Heterodirect", "Hetero-PRAM", "Heterodirect-PRAM",
+         "NOR-intf", "Integrated-SLC", "Integrated-MLC", "Integrated-TLC",
+         "PAGE-buffer", "DRAM-less (firmware)", "DRAM-less"]
+SHORT = ["Het", "Hetd", "HetP", "HetdP", "NOR", "iSLC", "iMLC", "iTLC",
+         "PAGE", "DLfw", "DL"]
+WORKLOADS = ["gemver", "doitg", "trmm", "jaco1D", "adi", "durbin"]
+
+
+def main() -> None:
+    frac = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    cfg = SystemConfig(
+        accelerator=AcceleratorConfig(l1_bytes=2048, l2_bytes=16384),
+        dram_fraction=frac)
+    geo = {}
+    for name_wl in WORKLOADS:
+        bundle = generate_traces(workload(name_wl), agents=7, scale=scale,
+                                 seed=1)
+        base = None
+        row = []
+        for name, s in zip(NAMES, SHORT):
+            result = build_system(name, cfg).run(bundle)
+            if base is None:
+                base = result
+            value = result.bandwidth_mb_s / base.bandwidth_mb_s
+            row.append((s, value))
+            geo.setdefault(s, []).append(value)
+        print(f"{name_wl:8s} " + " ".join(f"{s}={v:5.2f}" for s, v in row))
+    means = {s: math.exp(sum(map(math.log, v)) / len(v))
+             for s, v in geo.items()}
+    print("geomean  " + " ".join(f"{s}={v:5.2f}" for s, v in means.items()))
+    print(f"targets: Hetd/Het~1.25 (got {means['Hetd']:.2f}), "
+          f"DL/Het~1.93 (got {means['DL']:.2f}), "
+          f"DL/Hetd~1.47 (got {means['DL'] / means['Hetd']:.2f}), "
+          f"DL/DLfw~1.25 (got {means['DL'] / means['DLfw']:.2f}), "
+          f"DL/PAGE~1.64 (got {means['DL'] / means['PAGE']:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""DRAM-less (HPCA 2020) — a behavioural reproduction.
+
+A discrete-event model of the paper's full stack: the multi-partition
+PRAM device, the hardware-automated FPGA controller with multi-resource
+aware interleaving and selective erasing, the eight-PE accelerator with
+its server/agent near-data-processing model, every baseline data path
+of Table I, the Polybench workload suite, and one experiment module per
+table/figure of Section VI.
+
+Quick taste::
+
+    from repro import build_system, generate_traces, workload
+
+    bundle = generate_traces(workload("gemver"), scale=0.1)
+    result = build_system("DRAM-less").run(bundle)
+    print(result.bandwidth_mb_s, result.energy_mj)
+
+Package map:
+
+=====================  ===========================================
+``repro.sim``          discrete-event simulation kernel
+``repro.pram``         the 3x nm multi-partition PRAM device model
+``repro.controller``   the FPGA controller, schedulers, firmware
+``repro.accel``        PEs, caches, MCU, server, programming model
+``repro.storage``      flash/PRAM SSDs, DRAM buffers, NOR PRAM
+``repro.host``         host CPU costs, PCIe, storage stack, P2P DMA
+``repro.systems``      the Table I system configurations
+``repro.workloads``    Polybench characterization and traces
+``repro.energy``       the per-component energy model
+``repro.experiments``  one module per table/figure
+=====================  ===========================================
+"""
+
+from repro.controller import (
+    MemoryRequest,
+    Op,
+    PramSubsystem,
+    SchedulerPolicy,
+)
+from repro.pram import PramGeometry, PramModule, PramTimingParams
+from repro.sim import Simulator
+from repro.systems import (
+    SYSTEM_NAMES,
+    AcceleratedSystem,
+    ExecutionResult,
+    SystemConfig,
+    build_system,
+)
+from repro.workloads import (
+    POLYBENCH,
+    Category,
+    WorkloadSpec,
+    all_workloads,
+    generate_traces,
+    workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratedSystem",
+    "Category",
+    "ExecutionResult",
+    "MemoryRequest",
+    "Op",
+    "POLYBENCH",
+    "PramGeometry",
+    "PramModule",
+    "PramSubsystem",
+    "PramTimingParams",
+    "SYSTEM_NAMES",
+    "SchedulerPolicy",
+    "Simulator",
+    "SystemConfig",
+    "WorkloadSpec",
+    "all_workloads",
+    "build_system",
+    "generate_traces",
+    "workload",
+]

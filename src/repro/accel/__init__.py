@@ -1,0 +1,57 @@
+"""The multicore accelerator (Figure 6): PEs, caches, buses, server.
+
+The modelled part is TMS320C6678-like: eight 1 GHz PEs, each with eight
+functional units (two .M multipliers, two .L logic, two .S arithmetic /
+branch, two .D load-store), 64 KB L1 and 512 KB L2 per PE, all joined
+by the crossbar network, modelled here as the shared MC1/MC2 on-chip
+buses inside the MCU.  One PE acts as the *server* (kernel scheduling, MCU
+ownership); the remaining seven are *agents* doing the data processing.
+
+Subpackages:
+
+* :mod:`~repro.accel.isa` — the trace-level operation vocabulary;
+* :mod:`~repro.accel.functional_unit` — .M/.L/.S/.D issue model;
+* :mod:`~repro.accel.cache` — L1/L2 block caches;
+* :mod:`~repro.accel.psc` — the power/sleep controller;
+* :mod:`~repro.accel.mcu` — the memory controller unit and the
+  MemoryBackend protocol every system configuration implements;
+* :mod:`~repro.accel.kernel` — kernel images and the
+  packData/pushData/unpackData programming model (Figure 10);
+* :mod:`~repro.accel.pe` — the processing-element execution engine;
+* :mod:`~repro.accel.server` — the server PE's offload protocol
+  (Figure 9b);
+* :mod:`~repro.accel.accelerator` — the full assembly.
+"""
+
+from repro.accel.accelerator import Accelerator, AcceleratorConfig, AcceleratorStats
+from repro.accel.cache import BlockCache
+from repro.accel.functional_unit import FunctionalUnitSet
+from repro.accel.isa import ComputeOp, KernelOp, LoadOp, StoreOp
+from repro.accel.kernel import KernelImage, pack_data, push_data, unpack_data
+from repro.accel.mcu import MemoryBackend, MemoryControllerUnit
+from repro.accel.pe import PeStats, ProcessingElement
+from repro.accel.psc import PeState, PowerSleepController
+from repro.accel.server import ServerPe
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorConfig",
+    "AcceleratorStats",
+    "BlockCache",
+    "ComputeOp",
+    "FunctionalUnitSet",
+    "KernelImage",
+    "KernelOp",
+    "LoadOp",
+    "MemoryBackend",
+    "MemoryControllerUnit",
+    "PeState",
+    "PeStats",
+    "ProcessingElement",
+    "PowerSleepController",
+    "ServerPe",
+    "StoreOp",
+    "pack_data",
+    "push_data",
+    "unpack_data",
+]

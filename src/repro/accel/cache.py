@@ -1,0 +1,85 @@
+"""L1/L2 block caches.
+
+The caches are residency models at 512-byte block granularity (the
+server's request size): hits cost a fixed latency, misses defer to the
+next level.  Capacity follows the evaluated platform: 64 KB L1 and
+512 KB L2 per PE.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+#: Block size the hierarchy operates at (the L2 line / request unit).
+BLOCK_BYTES = 512
+
+#: Hit latencies, nanoseconds (1 GHz core: 1-2 cycles L1, ~7 cycles L2).
+L1_HIT_NS = 1.0
+L2_HIT_NS = 7.0
+
+
+class BlockCache:
+    """LRU cache of block ids with hit/miss accounting."""
+
+    def __init__(self, capacity_bytes: int, block_bytes: int = BLOCK_BYTES,
+                 hit_ns: float = L1_HIT_NS, name: str = "cache") -> None:
+        if capacity_bytes < block_bytes:
+            raise ValueError(
+                f"{name}: capacity {capacity_bytes} below one block"
+            )
+        self.name = name
+        self.block_bytes = block_bytes
+        self.capacity_blocks = capacity_bytes // block_bytes
+        self.hit_ns = hit_ns
+        self._blocks: "collections.OrderedDict[int, bool]" = (
+            collections.OrderedDict())
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._blocks
+
+    def block_of(self, address: int) -> int:
+        """Block id containing ``address``."""
+        if address < 0:
+            raise ValueError(f"negative address: {address}")
+        return address // self.block_bytes
+
+    def lookup(self, block: int) -> bool:
+        """Hit test with LRU refresh."""
+        if block in self._blocks:
+            self._blocks.move_to_end(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, block: int, dirty: bool = False) -> typing.Optional[
+            typing.Tuple[int, bool]]:
+        """Install a block; returns evicted ``(block, dirty)`` if any."""
+        evicted = None
+        if block not in self._blocks and (
+                len(self._blocks) >= self.capacity_blocks):
+            evicted = self._blocks.popitem(last=False)
+        previous = self._blocks.get(block, False)
+        self._blocks[block] = previous or dirty
+        self._blocks.move_to_end(block)
+        return evicted
+
+    def invalidate(self, block: int) -> None:
+        """Drop a block (coherence with a sibling writer)."""
+        self._blocks.pop(block, None)
+
+    def clear(self) -> None:
+        """Cold-start state."""
+        self._blocks.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0 when no lookups yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

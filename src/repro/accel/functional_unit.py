@@ -1,0 +1,54 @@
+"""Functional-unit issue model (Figure 6b).
+
+Each PE owns two sets of four units (.M multiply, .L logic, .S
+arithmetic/branch, .D load/store) over two register files.  Plain
+RISC-compiled code issues on the two .S and two .L units; kernels built
+with DSP intrinsics additionally light up the two .M units with
+multi-way multiply/accumulate, roughly doubling arithmetic throughput —
+the optimization Section VI applies to the ported Polybench suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class FunctionalUnitSet:
+    """Cycle cost of compute bursts on one PE's eight functional units."""
+
+    M_UNITS = 2
+    L_UNITS = 2
+    S_UNITS = 2
+    D_UNITS = 2
+
+    #: Multi-way MAC: one .M intrinsic retires this many scalar ops.
+    INTRINSIC_WAYS = 4
+
+    def __init__(self, clock_ghz: float = 1.0) -> None:
+        if clock_ghz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_ghz}")
+        self.clock_ghz = clock_ghz
+        self.ops_retired = 0
+
+    @property
+    def cycle_ns(self) -> float:
+        """One core cycle in nanoseconds."""
+        return 1.0 / self.clock_ghz
+
+    def ops_per_cycle(self, dsp_intrinsics: bool) -> int:
+        """Scalar operations retired per cycle."""
+        base = self.L_UNITS + self.S_UNITS  # plain RISC arithmetic
+        if dsp_intrinsics:
+            return base + self.M_UNITS * self.INTRINSIC_WAYS
+        return base
+
+    def cycles_for(self, scalar_ops: int, dsp_intrinsics: bool) -> int:
+        """Whole cycles to retire ``scalar_ops`` operations."""
+        if scalar_ops < 1:
+            raise ValueError(f"need >= 1 op, got {scalar_ops}")
+        return math.ceil(scalar_ops / self.ops_per_cycle(dsp_intrinsics))
+
+    def burst_time_ns(self, scalar_ops: int, dsp_intrinsics: bool) -> float:
+        """Wall time of a compute burst."""
+        self.ops_retired += scalar_ops
+        return self.cycles_for(scalar_ops, dsp_intrinsics) * self.cycle_ns

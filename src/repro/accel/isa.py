@@ -1,0 +1,59 @@
+"""Trace-level operation vocabulary for kernel execution.
+
+Workloads compile to per-agent operation streams.  Three operations
+exist at this altitude: block loads, block stores, and compute bursts.
+A compute burst carries a scalar-operation count and whether the kernel
+was built with DSP intrinsics (multi-way multiply/add), which changes
+how many operations the functional units retire per cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadOp:
+    """Read ``size`` bytes at ``address`` (through the cache hierarchy)."""
+
+    address: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"negative address: {self.address}")
+        if self.size < 1:
+            raise ValueError(f"load size must be >= 1, got {self.size}")
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreOp:
+    """Write ``size`` bytes at ``address`` (through the store buffer)."""
+
+    address: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"negative address: {self.address}")
+        if self.size < 1:
+            raise ValueError(f"store size must be >= 1, got {self.size}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeOp:
+    """Retire ``scalar_ops`` operations on the functional units."""
+
+    scalar_ops: int
+    dsp_intrinsics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scalar_ops < 1:
+            raise ValueError(
+                f"compute burst needs >= 1 op, got {self.scalar_ops}"
+            )
+
+
+#: Any trace element.
+KernelOp = typing.Union[LoadOp, StoreOp, ComputeOp]

@@ -1,0 +1,106 @@
+"""The memory controller unit (MCU) and the MemoryBackend protocol.
+
+The server's MCU "takes over the L2 cache misses of an agent and
+administrates all the associated PRAM accesses" (Section III-B).  In
+the model, the MCU is the funnel between PE cache misses and whatever
+memory subsystem a system configuration installs: the PRAM subsystem
+for DRAM-less, a DRAM+SSD path for the heterogeneous baselines, flash
+for the integrated ones, and so on.
+
+Backends implement four process-body methods plus two functional ones:
+
+``read_block(address, size)``  -> bytes
+``write_block(address, data)`` -> None
+``flush()``                    -> None  (drain any write-back state)
+``announce_writes(address, size)`` (zero-time write hint, optional)
+``preload(address, data)`` / ``inspect(address, size)`` (zero-time)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import Resource, Simulator
+
+
+class MemoryBackend(typing.Protocol):
+    """Structural protocol every system's memory path implements."""
+
+    def read_block(self, address: int, size: int) -> typing.Generator:
+        """Process body: fetch ``size`` bytes; returns the data."""
+
+    def write_block(self, address: int, data: bytes) -> typing.Generator:
+        """Process body: persist ``data`` at ``address``."""
+
+    def flush(self) -> typing.Generator:
+        """Process body: drain buffered writes to the backing medium."""
+
+    def announce_writes(self, address: int, size: int) -> None:
+        """Zero-time hint that the region will be overwritten soon."""
+
+    def preload(self, address: int, data: bytes) -> None:
+        """Zero-time data placement (experiment setup)."""
+
+    def inspect(self, address: int, size: int) -> bytes:
+        """Zero-time read-back (verification)."""
+
+
+#: MCU request-administration overhead per miss, ns.
+MCU_OVERHEAD_NS = 20.0
+
+#: On-chip bus width between L2 and the MCU: 256-bit MC1 (Figure 6b)
+#: at the 1 GHz core clock = 32 bytes/ns.
+BUS_BYTES_PER_NS = 32.0
+
+
+class MemoryControllerUnit:
+    """Funnels PE cache misses into the installed backend.
+
+    The two on-chip memory controllers (MC1/MC2) bound the number of
+    concurrently administered requests to two.
+    """
+
+    def __init__(self, sim: Simulator, backend: MemoryBackend,
+                 controllers: int = 2) -> None:
+        if controllers < 1:
+            raise ValueError(f"need >= 1 on-chip controller")
+        self.sim = sim
+        self.backend = backend
+        self.ports = Resource(sim, capacity=controllers, name="mcu.ports")
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def fetch(self, address: int, size: int) -> typing.Generator:
+        """Process body: service an L2 read miss; returns the data."""
+        grant = self.ports.request()
+        yield grant
+        try:
+            yield self.sim.timeout(MCU_OVERHEAD_NS)
+            data = yield from self.backend.read_block(address, size)
+            yield self.sim.timeout(size / BUS_BYTES_PER_NS)
+        finally:
+            self.ports.release(grant)
+        self.reads += 1
+        self.bytes_read += size
+        return data
+
+    def store(self, address: int, data: bytes) -> typing.Generator:
+        """Process body: push a write-back/write-through block down.
+
+        The on-chip controller is held only for the administration and
+        bus transfer; the backend's media work (e.g. a 10-18 us PRAM
+        program) proceeds afterwards without blocking the MCU, so other
+        PEs' misses are not starved behind slow writes.
+        """
+        grant = self.ports.request()
+        yield grant
+        try:
+            yield self.sim.timeout(MCU_OVERHEAD_NS)
+            yield self.sim.timeout(len(data) / BUS_BYTES_PER_NS)
+        finally:
+            self.ports.release(grant)
+        yield from self.backend.write_block(address, data)
+        self.writes += 1
+        self.bytes_written += len(data)

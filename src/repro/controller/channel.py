@@ -1,0 +1,366 @@
+"""One LPDDR2-NVM channel controller.
+
+The channel is where policy turns into timing.  Resources:
+
+* the shared command/DQ **bus** — one transfer at a time across the
+  channel's 16 modules;
+* each module's **overlay window** — one in-flight program per module;
+* each module's **partitions** — busy windows tracked by the module.
+
+Under the interleaving policy these are acquired independently, so the
+burst of one chunk proceeds while another chunk's partition senses or
+programs (Figure 12).  Under bare-metal ordering a single channel-wide
+lock serializes whole chunks, array time included — the noop scheduler
+of Figure 13.
+
+Phase skipping (Section III-B) is a property of the hardware-automated
+controller and applies in every policy: an RAB hit skips the pre-active
+phase, an RDB hit skips both pre-active and activate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.controller.datapath import Datapath
+from repro.controller.phy import PramPhy
+from repro.controller.scheduler import SchedulerPolicy, WriteHintStore
+from repro.controller.translator import ChunkPlan
+from repro.controller.wear_level import (
+    DEFAULT_GAP_WRITE_INTERVAL,
+    StartGapMapper,
+)
+from repro.pram.address import AddressMap
+from repro.pram.module import PramModule
+from repro.pram.overlay_window import CMD_SELECTIVE_ERASE
+from repro.sim import Histogram, Resource, Simulator
+
+
+class ChannelController:
+    """Drives the PRAM modules of one channel as simulation processes."""
+
+    def __init__(self, sim: Simulator, modules: typing.Sequence[PramModule],
+                 policy: SchedulerPolicy = SchedulerPolicy.FINAL,
+                 address_map: typing.Optional[AddressMap] = None,
+                 phase_skipping: bool = True,
+                 hint_store: typing.Optional[WriteHintStore] = None,
+                 channel_id: int = 0,
+                 wear_leveling: bool = False,
+                 gap_write_interval: int = DEFAULT_GAP_WRITE_INTERVAL,
+                 write_pausing: bool = False,
+                 pause_resume_penalty_ns: float = 1_000.0) -> None:
+        if not modules:
+            raise ValueError("a channel needs at least one module")
+        self.sim = sim
+        self.modules = list(modules)
+        self.policy = policy
+        self.address_map = address_map or AddressMap(modules[0].geometry)
+        self.phase_skipping = phase_skipping
+        # Explicit None check: an empty WriteHintStore is falsy.
+        self.hints = hint_store if hint_store is not None else WriteHintStore()
+        self.channel_id = channel_id
+        self.phy = PramPhy(modules[0].params)
+        self.datapath = Datapath()
+        self.bus = Resource(sim, capacity=1, name=f"ch{channel_id}.bus")
+        self._serial_lock = Resource(
+            sim, capacity=1, name=f"ch{channel_id}.serial")
+        self._window_locks = [
+            Resource(sim, capacity=1, name=f"ch{channel_id}.m{i}.window")
+            for i in range(len(self.modules))
+        ]
+        # Optional start-gap wear leveling (Section VII): one mapper
+        # per (module, partition); one row per partition is the spare.
+        self.wear_leveling = wear_leveling
+        self._mappers: typing.Dict[typing.Tuple[int, int],
+                                   StartGapMapper] = {}
+        self._gap_write_interval = gap_write_interval
+        self.gap_moves = 0
+        # Optional write pausing ([66]): reads preempt in-flight
+        # programs at a resume-penalty cost.
+        self.write_pausing = write_pausing
+        self.pause_resume_penalty_ns = pause_resume_penalty_ns
+        self.pauses_issued = 0
+        # Statistics
+        self.read_latency = Histogram(f"ch{channel_id}.read_latency")
+        self.write_latency = Histogram(f"ch{channel_id}.write_latency")
+        self.bus_busy_ns = 0.0
+        self.chunks_read = 0
+        self.chunks_written = 0
+        self.pre_resets_issued = 0
+        self.phase_skips = {"pre_active": 0, "activate": 0}
+
+    # ------------------------------------------------------------------
+    # Public API: chunk execution processes
+    # ------------------------------------------------------------------
+    def execute_chunks(self, chunks: typing.Sequence[ChunkPlan]
+                       ) -> typing.Generator:
+        """Process body: run this channel's chunks under the policy.
+
+        Returns the concatenated read data (b"" for writes).
+        """
+        if self.policy.interleaves:
+            done = [self.sim.process(self._chunk_process(c)) for c in chunks]
+            results = yield self.sim.all_of(done)
+            ordered = [results[proc] for proc in done]
+        else:
+            # Noop scheduling: one request owns the channel at a time.
+            # Within the request, chunks still fan out across modules —
+            # the 32-bytes-per-bank striping is the device's lockstep
+            # nature, not a scheduling decision.
+            lock = self._serial_lock.request()
+            yield lock
+            try:
+                done = [self.sim.process(self._chunk_process(c))
+                        for c in chunks]
+                results = yield self.sim.all_of(done)
+                ordered = [results[proc] for proc in done]
+            finally:
+                self._serial_lock.release(lock)
+        return b"".join(ordered)
+
+    def prefetch_hints(self) -> typing.Generator:
+        """Process body: drain the write-hint store by pre-RESETting.
+
+        Pre-resets fan out across modules (each module's overlay window
+        is independent) so draining keeps pace with kernel execution —
+        Section V-A wants the resets done "before completing the
+        corresponding computation".  Only effective under a
+        pre-resetting policy; a no-op otherwise.
+        """
+        if not self.policy.pre_resets:
+            return
+        per_module: typing.Dict[int, list] = {}
+        while True:
+            hint = self.hints.pop()
+            if hint is None:
+                break
+            address, size, registered_at = hint
+            for pram_address, _, chunk_size in self.address_map.iter_rows(
+                    address, size):
+                if pram_address.channel != self.channel_id:
+                    continue
+                per_module.setdefault(pram_address.module, []).append(
+                    (pram_address, chunk_size, registered_at))
+        if not per_module:
+            return
+        workers = [self.sim.process(self._reset_worker(chunks))
+                   for chunks in per_module.values()]
+        yield self.sim.all_of(workers)
+
+    def _reset_worker(self, chunks: typing.List) -> typing.Generator:
+        """Serially pre-reset one module's hinted chunks."""
+        for pram_address, chunk_size, registered_at in chunks:
+            yield self.sim.process(self._pre_reset(pram_address,
+                                                   chunk_size,
+                                                   registered_at))
+
+    # ------------------------------------------------------------------
+    # Chunk state machines
+    # ------------------------------------------------------------------
+    def _chunk_process(self, chunk: ChunkPlan) -> typing.Generator:
+        start = self.sim.now
+        if chunk.is_write:
+            yield from self._write_chunk(chunk)
+            self.write_latency.add(self.sim.now - start)
+            self.chunks_written += 1
+            return b""
+        data = yield from self._read_chunk(chunk)
+        self.read_latency.add(self.sim.now - start)
+        self.chunks_read += 1
+        return data
+
+    def _read_chunk(self, chunk: ChunkPlan) -> typing.Generator:
+        module = self.modules[chunk.address.module]
+        partition = chunk.address.partition
+        row = self._physical_row(chunk.address.module, partition,
+                                 chunk.address.row)
+        upper, lower = self.address_map.split_row(row)
+
+        buffer_id, need_pre_active, need_activate = self._probe_buffers(
+            module, partition, row, upper, chunk.buffer_id)
+
+        paused = False
+        if (self.write_pausing and need_activate
+                and module.program_in_flight(partition, self.sim.now)):
+            paused = module.pause_program(partition, self.sim.now,
+                                          self.pause_resume_penalty_ns)
+            if paused:
+                self.pauses_issued += 1
+
+        if need_pre_active or need_activate:
+            # Command packets go over the shared bus; the array phases
+            # themselves run inside the module without holding the bus.
+            packets = (1 if need_pre_active else 0) + (
+                1 if need_activate else 0)
+            yield from self._hold_bus(self.phy.command_cost(packets))
+            now = self.sim.now
+            if need_pre_active:
+                now = module.pre_active(now, buffer_id, upper)
+            if need_activate:
+                now = module.activate(now, buffer_id, partition, lower)
+            if now > self.sim.now:
+                yield self.sim.timeout(now - self.sim.now)
+        if paused:
+            # The read has its row; the program picks back up while
+            # the burst streams over the bus.
+            module.resume_program(partition, self.sim.now)
+
+        # The data burst occupies the bus for preamble + burst time.
+        finish, data = module.read_burst(
+            self.sim.now, buffer_id, chunk.address.column, chunk.size)
+        yield from self._hold_bus(finish - self.sim.now)
+        self.datapath.stage_load(data)
+        return data
+
+    def _write_chunk(self, chunk: ChunkPlan) -> typing.Generator:
+        module = self.modules[chunk.address.module]
+        index = chunk.address.module
+        payload = chunk.payload
+        assert payload is not None  # guaranteed by MemoryRequest validation
+
+        partition = chunk.address.partition
+        row = self._physical_row(index, partition, chunk.address.row)
+        window = self._window_locks[index].request()
+        yield window
+        try:
+            self.datapath.stage_store(payload)
+            # Register pokes + payload burst into the program buffer all
+            # travel over the shared bus.
+            stage_finish = module.stage_program(
+                self.sim.now, partition, row,
+                chunk.address.column, payload)
+            yield from self._hold_bus(stage_finish - self.sim.now)
+            # The array program frees the bus but occupies the partition
+            # and the module's overlay window until completion.  The
+            # wait re-checks the partition clock because write pausing
+            # can extend an in-flight program.
+            module.execute_program(self.sim.now)
+            while True:
+                ready = module.partition_ready_at(partition)
+                if ready <= self.sim.now:
+                    break
+                yield self.sim.timeout(ready - self.sim.now)
+            yield self.sim.timeout(module.timing.write_recovery())
+            yield from self._account_write(index, partition)
+        finally:
+            self._window_locks[index].release(window)
+
+    def _pre_reset(self, address, size: int,
+                   registered_at: float = float("inf")
+                   ) -> typing.Generator:
+        """Background all-zero program of one row chunk (Section V-A)."""
+        module = self.modules[address.module]
+        if self.wear_leveling:
+            # Rebind to the current physical row.
+            address = dataclasses.replace(
+                address, row=self._physical_row(
+                    address.module, address.partition, address.row))
+        # Skip rows that are already pristine: resetting them would
+        # waste endurance and bus time for no latency benefit.
+        if not module.program_needs_reset(
+                address.partition, address.row, address.column, size):
+            return
+        # Skip rows rewritten since the hint was registered: the data
+        # there is *new* output, not the stale copy the hint targeted.
+        if module.last_program_time(address.partition,
+                                    address.row) > registered_at:
+            return
+        # Opportunistic only: if a real write holds or waits on this
+        # module's overlay window, stand down — delaying a write by a
+        # RESET pass costs exactly what the pre-reset would save.
+        lock = self._window_locks[address.module]
+        if lock.count > 0 or lock.queue_length > 0:
+            return
+        window = lock.request()
+        yield window
+        try:
+            # Re-check under the window lock: a write may have landed
+            # while this pre-reset waited.
+            if module.last_program_time(address.partition,
+                                        address.row) > registered_at:
+                return
+            stage_finish = module.stage_program(
+                self.sim.now, address.partition, address.row,
+                address.column, bytes(size), command=CMD_SELECTIVE_ERASE)
+            yield from self._hold_bus(stage_finish - self.sim.now)
+            finish = module.execute_program(self.sim.now)
+            yield self.sim.timeout(finish - self.sim.now)
+            self.pre_resets_issued += 1
+        finally:
+            lock.release(window)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _probe_buffers(self, module: PramModule, partition: int, row: int,
+                       upper: int, planned_buffer: int
+                       ) -> typing.Tuple[int, bool, bool]:
+        """Decide phase skips: (buffer_id, need_pre_active, need_activate)."""
+        if self.phase_skipping:
+            rdb = module.buffers.find_rdb(partition, row)
+            if rdb is not None:
+                self.phase_skips["pre_active"] += 1
+                self.phase_skips["activate"] += 1
+                return rdb.buffer_id, False, False
+            rab = module.buffers.find_rab(upper)
+            if rab is not None:
+                self.phase_skips["pre_active"] += 1
+                return rab.buffer_id, False, True
+        return planned_buffer, True, True
+
+    def _physical_row(self, module_index: int, partition: int,
+                      logical_row: int) -> int:
+        """Translate through start-gap when wear leveling is on."""
+        if not self.wear_leveling:
+            return logical_row
+        mapper = self._mapper(module_index, partition)
+        return mapper.map(logical_row)
+
+    def _mapper(self, module_index: int,
+                partition: int) -> StartGapMapper:
+        key = (module_index, partition)
+        mapper = self._mappers.get(key)
+        if mapper is None:
+            lines = self.modules[module_index].geometry.rows_per_partition - 1
+            mapper = StartGapMapper(
+                lines, gap_write_interval=self._gap_write_interval)
+            self._mappers[key] = mapper
+        return mapper
+
+    def _account_write(self, module_index: int,
+                       partition: int) -> typing.Generator:
+        """Wear-leveling bookkeeping after a program; may move the gap.
+
+        The gap move (read the source row, program it into the old gap
+        line) runs inline under the already-held window lock — an
+        amortized 1/ψ overhead per write.
+        """
+        if not self.wear_leveling:
+            return
+        move = self._mapper(module_index, partition).record_write()
+        if move is None:
+            return
+        module = self.modules[module_index]
+        data = module.peek(partition, move.source)
+        # Sensing the source row costs an activate; then a normal
+        # program into the destination.
+        yield self.sim.timeout(module.timing.activate())
+        stage_finish = module.stage_program(
+            self.sim.now, partition, move.destination, 0, data)
+        yield from self._hold_bus(stage_finish - self.sim.now)
+        finish = module.execute_program(self.sim.now)
+        yield self.sim.timeout(finish - self.sim.now)
+        self.gap_moves += 1
+
+    def _hold_bus(self, duration: float) -> typing.Generator:
+        """Occupy the channel bus for ``duration`` ns."""
+        if duration <= 0:
+            return
+        grant = self.bus.request()
+        yield grant
+        try:
+            yield self.sim.timeout(duration)
+            self.bus_busy_ns += duration
+        finally:
+            self.bus.release(grant)

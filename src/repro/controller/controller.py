@@ -1,0 +1,180 @@
+"""The two-channel PRAM subsystem the accelerator's MCU talks to.
+
+This is the top of the FPGA: it owns one
+:class:`~repro.controller.channel.ChannelController` per LPDDR2-NVM
+channel, splits incoming requests across them, and optionally routes
+every request through the firmware baseline first.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.controller.channel import ChannelController
+from repro.controller.firmware import FirmwareModel
+from repro.controller.initializer import Initializer
+from repro.controller.request import MemoryRequest, Op
+from repro.controller.scheduler import SchedulerPolicy, WriteHintStore
+from repro.controller.translator import AccessPlanner
+from repro.pram.address import AddressMap
+from repro.pram.constants import PramGeometry, PramTimingParams
+from repro.pram.module import PramModule
+from repro.sim import Simulator
+
+
+class PramSubsystem:
+    """Hardware-automated PRAM memory subsystem (Figure 6's FPGA half)."""
+
+    def __init__(self, sim: Simulator,
+                 geometry: PramGeometry = PramGeometry(),
+                 params: PramTimingParams = PramTimingParams(),
+                 policy: SchedulerPolicy = SchedulerPolicy.FINAL,
+                 phase_skipping: bool = True,
+                 firmware: typing.Optional[FirmwareModel] = None,
+                 wear_leveling: bool = False,
+                 gap_write_interval: int = 100,
+                 write_pausing: bool = False) -> None:
+        self.sim = sim
+        self.geometry = geometry
+        self.params = params
+        self.policy = policy
+        self.address_map = AddressMap(geometry)
+        self.planner = AccessPlanner(self.address_map)
+        self.hint_stores = [WriteHintStore() for _ in range(geometry.channels)]
+        self.firmware = firmware
+        self.modules = [
+            [PramModule(geometry, params, channel_id=ch, module_id=m)
+             for m in range(geometry.modules_per_channel)]
+            for ch in range(geometry.channels)
+        ]
+        self.channels = [
+            ChannelController(
+                sim, self.modules[ch], policy=policy,
+                address_map=self.address_map,
+                phase_skipping=phase_skipping,
+                hint_store=self.hint_stores[ch], channel_id=ch,
+                wear_leveling=wear_leveling,
+                gap_write_interval=gap_write_interval,
+                write_pausing=write_pausing)
+            for ch in range(geometry.channels)
+        ]
+        self.boot_latency_ns = Initializer().boot(
+            [m for channel in self.modules for m in channel])
+        self.requests_completed = 0
+
+    # ------------------------------------------------------------------
+    # MCU-facing API
+    # ------------------------------------------------------------------
+    def submit(self, request: MemoryRequest) -> typing.Generator:
+        """Process body: service one memory request to completion.
+
+        Returns the read data (b"" for writes).  Chunks are fanned out
+        to their channels; channels proceed independently.
+        """
+        request.submit_time = self.sim.now
+        if self.firmware is not None:
+            yield self.sim.process(self.firmware.admit())
+        by_channel = self.planner.chunks_by_channel(request)
+        pending = [
+            self.sim.process(self.channels[ch].execute_chunks(chunks))
+            for ch, chunks in sorted(by_channel.items())
+        ]
+        results = yield self.sim.all_of(pending)
+        request.complete_time = self.sim.now
+        request.result = b"".join(results[proc] for proc in pending)
+        self.requests_completed += 1
+        if request.done is not None:
+            request.done.succeed(request.result)
+        return request.result
+
+    def read(self, address: int, size: int) -> typing.Generator:
+        """Process body: convenience read returning the data."""
+        request = MemoryRequest(Op.READ, address, size)
+        data = yield self.sim.process(self.submit(request))
+        return data
+
+    def write(self, address: int, data: bytes) -> typing.Generator:
+        """Process body: convenience write."""
+        request = MemoryRequest(Op.WRITE, address, len(data), data=data)
+        yield self.sim.process(self.submit(request))
+
+    def register_write_hint(self, address: int, size: int) -> None:
+        """Announce a region that will soon be overwritten.
+
+        Under a pre-resetting policy the channels RESET those rows in
+        the background (call :meth:`drain_hints` or let a system model
+        run it alongside compute).  The region is decomposed into
+        row-sized hints routed to the owning channel.
+        """
+        registered_at = self.sim.now
+        for pram_address, _, chunk in self.address_map.iter_rows(
+                address, size):
+            flat = self.address_map.compose(pram_address)
+            self.hint_stores[pram_address.channel].add(
+                flat, chunk, registered_at=registered_at)
+
+    def drain_hints(self) -> typing.Generator:
+        """Process body: run every channel's hint prefetcher to empty."""
+        pending = [self.sim.process(channel.prefetch_hints())
+                   for channel in self.channels]
+        yield self.sim.all_of(pending)
+
+    # ------------------------------------------------------------------
+    # Functional access (experiment setup/verification, zero time)
+    # ------------------------------------------------------------------
+    def preload(self, address: int, data: bytes) -> None:
+        """Place ``data`` at ``address`` with no simulated time cost.
+
+        Mirrors the paper's evaluation setup: "we initialize the data
+        and place it in the persistent storages" before each run.
+        Partial first/last rows are read-modify-written functionally.
+        """
+        for pram_address, offset, size in self.address_map.iter_rows(
+                address, len(data)):
+            module = self.modules[pram_address.channel][pram_address.module]
+            physical = self.channels[pram_address.channel]._physical_row(
+                pram_address.module, pram_address.partition,
+                pram_address.row)
+            row = bytearray(module.peek(pram_address.partition, physical))
+            row[pram_address.column:pram_address.column + size] = (
+                data[offset:offset + size])
+            module.poke(pram_address.partition, physical, bytes(row))
+
+    def inspect(self, address: int, size: int) -> bytes:
+        """Functional read-back with no simulated time cost."""
+        out = bytearray()
+        for pram_address, _, chunk in self.address_map.iter_rows(
+                address, size):
+            module = self.modules[pram_address.channel][pram_address.module]
+            physical = self.channels[pram_address.channel]._physical_row(
+                pram_address.module, pram_address.partition,
+                pram_address.row)
+            row = module.peek(pram_address.partition, physical)
+            out += row[pram_address.column:pram_address.column + chunk]
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def operation_counts(self) -> typing.Dict[str, int]:
+        """Device-level operation totals across all modules."""
+        totals = {"reads": 0, "programs": 0, "resets": 0, "erases": 0}
+        for channel in self.modules:
+            for module in channel:
+                totals["reads"] += module.reads
+                totals["programs"] += module.programs
+                totals["resets"] += module.resets
+                totals["erases"] += module.erases
+        return totals
+
+    def mean_read_latency(self) -> float:
+        """Mean per-chunk read latency across channels (ns)."""
+        samples = [s for ch in self.channels
+                   for s in ch.read_latency.samples]
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def mean_write_latency(self) -> float:
+        """Mean per-chunk write latency across channels (ns)."""
+        samples = [s for ch in self.channels
+                   for s in ch.write_latency.samples]
+        return sum(samples) / len(samples) if samples else 0.0

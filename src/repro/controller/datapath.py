@@ -1,0 +1,56 @@
+"""The controller datapath: two 256-bit staging registers (Section V-B).
+
+The PEs' load/store operand size is 32 bytes, so the controller keeps
+one 256-bit register per direction.  The datapath validates operand
+sizing and accounts the bytes that crossed it (for the energy model).
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class Datapath:
+    """Load/store staging registers between MCU messages and the PHY."""
+
+    REGISTER_BYTES = 32  # 256 bits
+
+    def __init__(self) -> None:
+        self._load_register = bytes(self.REGISTER_BYTES)
+        self._store_register = bytes(self.REGISTER_BYTES)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def stage_store(self, data: bytes) -> None:
+        """Latch up to 32 bytes heading to the PRAM."""
+        self._check(len(data))
+        self._store_register = data.ljust(self.REGISTER_BYTES, b"\x00")
+        self.bytes_written += len(data)
+
+    def stage_load(self, data: bytes) -> bytes:
+        """Latch data arriving from the PRAM; returns it for forwarding."""
+        self._check(len(data))
+        self._load_register = data.ljust(self.REGISTER_BYTES, b"\x00")
+        self.bytes_read += len(data)
+        return data
+
+    @property
+    def load_register(self) -> bytes:
+        """Last value latched from the PRAM side."""
+        return self._load_register
+
+    @property
+    def store_register(self) -> bytes:
+        """Last value latched from the MCU side."""
+        return self._store_register
+
+    def _check(self, size: int) -> None:
+        if size < 1 or size > self.REGISTER_BYTES:
+            raise ValueError(
+                f"datapath operand must be 1..{self.REGISTER_BYTES} bytes, "
+                f"got {size}"
+            )
+
+    def totals(self) -> typing.Tuple[int, int]:
+        """(bytes_read, bytes_written) counters."""
+        return self.bytes_read, self.bytes_written

@@ -1,0 +1,42 @@
+"""Boot-time initialization of the PRAM modules (Section V-B).
+
+The initializer handles "auto initialization, calibrating on-die
+impedance tasks and setting up the burst length and overlay window
+address" for every module on a channel.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.pram.module import PramModule
+
+#: Measured-once boot costs, nanoseconds.  These only matter at reset,
+#: never on the data path, so rough figures suffice.
+AUTO_INIT_NS = 200_000.0        # device auto-initialization sequence
+ZQ_CALIBRATION_NS = 50_000.0    # on-die impedance calibration
+MODE_REGISTER_NS = 100.0        # burst length + OWBA setup per module
+
+
+class Initializer:
+    """Brings a set of PRAM modules from power-on to operational."""
+
+    def __init__(self, overlay_window_base: int = 0) -> None:
+        self.overlay_window_base = overlay_window_base
+        self.booted = False
+
+    def boot(self, modules: typing.Sequence[PramModule]) -> float:
+        """Initialize every module; returns total boot latency in ns.
+
+        Auto-init and calibration run on all modules in parallel (each
+        module self-times them); the mode-register setup is serialized
+        over the shared command bus.
+        """
+        if not modules:
+            raise ValueError("no modules to initialize")
+        for module in modules:
+            module.buffers.invalidate_all()
+            module.window.set_base(self.overlay_window_base)
+        self.booted = True
+        return (AUTO_INIT_NS + ZQ_CALIBRATION_NS
+                + MODE_REGISTER_NS * len(modules))

@@ -1,0 +1,66 @@
+"""Memory request messages between the MCU and the PRAM controller."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Event
+
+_request_ids = itertools.count()
+
+
+class Op(enum.Enum):
+    """Operation kinds the controller understands."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclasses.dataclass
+class MemoryRequest:
+    """One read or write message (Section V-B's simple interface).
+
+    The server's MCU issues requests of up to 512 bytes per channel
+    (32 bytes per bank); the controller decomposes them into row-sized
+    chunks internally.
+    """
+
+    op: Op
+    address: int
+    size: int
+    data: typing.Optional[bytes] = None
+    request_id: int = dataclasses.field(
+        default_factory=lambda: next(_request_ids))
+    submit_time: float = 0.0
+    complete_time: float = 0.0
+    result: typing.Optional[bytes] = None
+    done: typing.Optional["Event"] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"request size must be >= 1, got {self.size}")
+        if self.address < 0:
+            raise ValueError(f"negative address: {self.address}")
+        if self.op is Op.WRITE:
+            if self.data is None:
+                raise ValueError("WRITE requires a data payload")
+            if len(self.data) != self.size:
+                raise ValueError(
+                    f"payload is {len(self.data)} bytes but size={self.size}"
+                )
+        elif self.data is not None:
+            raise ValueError("READ must not carry a payload")
+
+    @property
+    def latency(self) -> float:
+        """Submit-to-complete latency (valid once completed)."""
+        return self.complete_time - self.submit_time
+
+    @property
+    def is_write(self) -> bool:
+        """Convenience predicate."""
+        return self.op is Op.WRITE

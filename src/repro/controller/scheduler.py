@@ -1,0 +1,81 @@
+"""Scheduling policies for the PRAM subsystem (Section V-A, Figure 13).
+
+Four policies are evaluated in the paper:
+
+* **BARE_METAL** — the noop scheduler: requests are serviced strictly
+  one at a time per channel, with no overlap between array access and
+  data transfer;
+* **INTERLEAVING** — multi-resource aware interleaving: the data burst
+  of a request whose RDB is ready proceeds while another request's
+  partition is still sensing (tRCD) or programming;
+* **SELECTIVE_ERASE** — bare-metal ordering plus pre-RESET of addresses
+  about to be overwritten, so the critical-path program is SET-only;
+* **FINAL** — interleaving + selective erasing (the DRAM-less default).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+
+class SchedulerPolicy(enum.Enum):
+    """The four configurations of Figure 13."""
+
+    BARE_METAL = "bare-metal"
+    INTERLEAVING = "interleaving"
+    SELECTIVE_ERASE = "selective-erasing"
+    FINAL = "final"
+
+    @property
+    def interleaves(self) -> bool:
+        """Does this policy overlap array access with data transfer?"""
+        return self in (SchedulerPolicy.INTERLEAVING, SchedulerPolicy.FINAL)
+
+    @property
+    def pre_resets(self) -> bool:
+        """Does this policy selectively erase soon-to-be-written rows?"""
+        return self in (SchedulerPolicy.SELECTIVE_ERASE, SchedulerPolicy.FINAL)
+
+
+class WriteHintStore:
+    """Addresses the server announced it will overwrite soon.
+
+    Section V-A: "while the server loads the target kernel, the PRAM
+    subsystem can selectively program the all-zero data word for only
+    the addresses that will be overwritten soon".  The server registers
+    hints when it parses the kernel's output regions; the channel
+    controllers consume them in the background.
+    """
+
+    def __init__(self) -> None:
+        self._pending: typing.List[typing.Tuple[int, int, float]] = []
+        self.registered = 0
+        self.consumed = 0
+
+    def add(self, address: int, size: int,
+            registered_at: float = float("inf")) -> None:
+        """Register a region expected to be overwritten.
+
+        ``registered_at`` is the simulated time of registration: a
+        consumer must skip rows that were programmed *after* this
+        instant, or a background pre-reset would destroy fresh data.
+        The default (+inf) places no freshness constraint — callers
+        that care (the subsystem does) pass the actual time.
+        """
+        if size < 1:
+            raise ValueError(f"hint size must be >= 1, got {size}")
+        if address < 0:
+            raise ValueError(f"negative hint address: {address}")
+        self._pending.append((address, size, registered_at))
+        self.registered += 1
+
+    def pop(self) -> typing.Optional[typing.Tuple[int, int, float]]:
+        """Take the oldest unprocessed hint (None when drained)."""
+        if not self._pending:
+            return None
+        self.consumed += 1
+        return self._pending.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,82 @@
+"""Request translation: flat requests → per-row chunk plans.
+
+The translator is the planning half of the command generator: it
+decomposes a :class:`~repro.controller.request.MemoryRequest` into
+row-sized chunks (a request never crosses a module boundary unaligned —
+the address map guarantees each chunk sits in one row) and assigns each
+chunk a row-buffer id.  Whether a chunk can skip the pre-active or
+activate phase is decided at issue time from live buffer state, not
+here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.controller.request import MemoryRequest, Op
+from repro.pram.address import AddressMap, PramAddress
+
+
+@dataclasses.dataclass
+class ChunkPlan:
+    """One row-sized slice of a memory request."""
+
+    request: MemoryRequest
+    address: PramAddress
+    offset: int          # byte offset inside the parent request
+    size: int            # bytes in this chunk
+    buffer_id: int       # RAB/RDB pair the command generator will select
+
+    @property
+    def is_write(self) -> bool:
+        """Writes go through the overlay window; reads through RDBs."""
+        return self.request.op is Op.WRITE
+
+    @property
+    def payload(self) -> typing.Optional[bytes]:
+        """This chunk's slice of the request payload (writes only)."""
+        if self.request.data is None:
+            return None
+        return self.request.data[self.offset:self.offset + self.size]
+
+
+class AccessPlanner:
+    """Stateless-ish planner bound to one address map.
+
+    Buffer ids rotate round-robin per module so consecutive chunks use
+    different RAB/RDB pairs — the precondition for the interleaving
+    scheduler to overlap one chunk's burst with another's array access.
+    """
+
+    def __init__(self, address_map: typing.Optional[AddressMap] = None) -> None:
+        self.address_map = address_map or AddressMap()
+        self._next_buffer: typing.Dict[typing.Tuple[int, int], int] = {}
+
+    def plan(self, request: MemoryRequest) -> typing.List[ChunkPlan]:
+        """Decompose ``request`` into ordered row-sized chunks."""
+        geometry = self.address_map.geometry
+        chunks = []
+        for address, offset, size in self.address_map.iter_rows(
+                request.address, request.size):
+            module_key = (address.channel, address.module)
+            buffer_id = self._next_buffer.get(module_key, 0)
+            self._next_buffer[module_key] = (
+                (buffer_id + 1) % geometry.rdb_count
+            )
+            chunks.append(ChunkPlan(
+                request=request,
+                address=address,
+                offset=offset,
+                size=size,
+                buffer_id=buffer_id,
+            ))
+        return chunks
+
+    def chunks_by_channel(self, request: MemoryRequest) -> typing.Dict[
+            int, typing.List[ChunkPlan]]:
+        """Chunks grouped by channel, preserving order within each."""
+        grouped: typing.Dict[int, typing.List[ChunkPlan]] = {}
+        for chunk in self.plan(request):
+            grouped.setdefault(chunk.address.channel, []).append(chunk)
+        return grouped

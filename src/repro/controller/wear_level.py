@@ -1,0 +1,119 @@
+"""Start-gap wear leveling (Section VII, via Qureshi et al. MICRO'09).
+
+The paper notes DRAM-less "can integrate traditional wear levellers in
+our PRAM controller, such as start-gap, to improve the PRAM lifetime".
+This module implements the classic algorithm as an optional layer under
+the channel controllers.
+
+Start-gap keeps one spare *gap* line per region (here: one per
+partition) and two registers:
+
+* ``gap`` — the physical index of the currently-unused line;
+* ``start`` — the rotation of the logical-to-physical mapping.
+
+The mapping for logical line ``l`` of ``n`` logical lines is::
+
+    p = (l + start) mod n
+    if p >= gap: p += 1          # skip the gap line
+
+Every ``gap_write_interval`` writes the gap moves one line down (the
+content of physical line ``gap - 1`` is copied into ``gap`` and the
+registers update), so hot logical lines slowly migrate across all
+physical lines.  A full rotation takes ``n * interval`` writes, after
+which every physical line has absorbed an equal share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Default gap-move period ψ: one move per 100 writes (the classic
+#: operating point; <1% overhead, near-perfect leveling long-term).
+DEFAULT_GAP_WRITE_INTERVAL = 100
+
+
+@dataclasses.dataclass
+class GapMove:
+    """One pending gap movement: copy ``source`` into ``destination``."""
+
+    source: int       # physical row whose content must move
+    destination: int  # physical row that receives it (the old gap)
+
+
+class StartGapMapper:
+    """Start-gap remapping for one region of ``lines`` logical rows.
+
+    The physical space has ``lines + 1`` rows (one spare).  The mapper
+    is pure bookkeeping: callers translate rows through :meth:`map`,
+    call :meth:`record_write` per row program, and perform the returned
+    :class:`GapMove` (a read+program of one row) when one is due.
+    """
+
+    def __init__(self, lines: int,
+                 gap_write_interval: int = DEFAULT_GAP_WRITE_INTERVAL
+                 ) -> None:
+        if lines < 1:
+            raise ValueError(f"need at least one line, got {lines}")
+        if gap_write_interval < 1:
+            raise ValueError(
+                f"gap interval must be >= 1, got {gap_write_interval}"
+            )
+        self.lines = lines
+        self.gap_write_interval = gap_write_interval
+        self.start = 0
+        self.gap = lines          # spare line starts at the end
+        self.writes_since_move = 0
+        self.total_moves = 0
+
+    @property
+    def physical_lines(self) -> int:
+        """Physical rows this region occupies (logical + 1 spare)."""
+        return self.lines + 1
+
+    def map(self, logical: int) -> int:
+        """Translate a logical row to its current physical row."""
+        if not 0 <= logical < self.lines:
+            raise ValueError(
+                f"logical row {logical} out of range [0, {self.lines})"
+            )
+        physical = (logical + self.start) % self.lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def record_write(self) -> typing.Optional[GapMove]:
+        """Account one row program; returns a due :class:`GapMove`.
+
+        The caller must complete the returned copy *before* issuing
+        further writes through this mapper (the registers update
+        immediately, so the mapping already reflects the move).
+        """
+        self.writes_since_move += 1
+        if self.writes_since_move < self.gap_write_interval:
+            return None
+        self.writes_since_move = 0
+        self.total_moves += 1
+        if self.gap == 0:
+            # Wrap: the gap returns to the top and the rotation
+            # advances.  Exactly one line relocates: in the old layout
+            # (gap=0, start=s) the logical line with
+            # (l+s) mod n == n-1 sits at physical n; in the new layout
+            # (gap=n, start=s+1) it sits at physical 0.  Every other
+            # line's physical position is unchanged by the register
+            # update.
+            move = GapMove(source=self.lines, destination=0)
+            self.gap = self.lines
+            self.start = (self.start + 1) % self.lines
+            return move
+        move = GapMove(source=self.gap - 1, destination=self.gap)
+        self.gap -= 1
+        return move
+
+    def endurance_spread(self, write_counts: typing.Sequence[int]) -> float:
+        """Max/mean ratio of per-line write counts (1.0 = perfect)."""
+        counts = [c for c in write_counts if c > 0]
+        if not counts:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0

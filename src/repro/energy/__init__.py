@@ -1,0 +1,10 @@
+"""Energy accounting (Figures 17, 20b, 21b).
+
+Energy is reconstructed from the same event streams as time: components
+charge joules into an :class:`~repro.energy.model.EnergyAccount` either
+per byte moved, per device operation, or as power × busy-time.
+"""
+
+from repro.energy.model import EnergyAccount, EnergyModel
+
+__all__ = ["EnergyAccount", "EnergyModel"]

@@ -1,0 +1,22 @@
+"""Experiment harness: one module per table/figure of Section VI.
+
+Each experiment module exposes ``run(config) -> dict`` returning the
+rows/series the paper reports, plus a ``report(result) -> str`` that
+renders them as the text table the benchmarks print.  The shared
+:mod:`~repro.experiments.runner` holds the evaluation configuration
+and the system x workload execution matrix.
+"""
+
+from repro.experiments.runner import (
+    EVAL_WORKLOADS,
+    ExperimentConfig,
+    format_table,
+    run_matrix,
+)
+
+__all__ = [
+    "EVAL_WORKLOADS",
+    "ExperimentConfig",
+    "format_table",
+    "run_matrix",
+]

@@ -1,0 +1,124 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli run fig15 [--scale 0.25] [--quick]
+    python -m repro.experiments.cli run all --quick
+
+Each experiment prints the same text report the benchmarks write to
+``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.experiments import runner
+from repro.experiments import (
+    fig01_motivation,
+    fig07_firmware,
+    fig12_interleaving_timing,
+    fig13_schedulers,
+    fig15_bandwidth,
+    fig16_exec_time,
+    fig17_energy,
+    fig18_19_ipc,
+    fig20_21_power,
+    tables,
+)
+
+#: name -> (description, callable(config) -> report string)
+EXPERIMENTS: typing.Dict[str, typing.Tuple[str, typing.Callable]] = {
+    "tables": ("Tables I-III: configuration parameters",
+               lambda config: tables.report()),
+    "fig01": ("Figure 1: conventional vs ideal (perf/energy)",
+              lambda config: fig01_motivation.report(
+                  fig01_motivation.run(config))),
+    "fig07": ("Figure 7: firmware vs oracle controller",
+              lambda config: fig07_firmware.report(
+                  fig07_firmware.run(config))),
+    "fig12": ("Figure 12: interleaving timing overlap",
+              lambda config: fig12_interleaving_timing.report(
+                  fig12_interleaving_timing.run())),
+    "fig13": ("Figure 13: the four subsystem schedulers",
+              lambda config: fig13_schedulers.report(
+                  fig13_schedulers.run(config))),
+    "fig15": ("Figure 15: normalized throughput, ten systems",
+              lambda config: fig15_bandwidth.report(
+                  fig15_bandwidth.run(config))),
+    "fig16": ("Figure 16: execution-time decomposition",
+              lambda config: fig16_exec_time.report(
+                  fig16_exec_time.run(config))),
+    "fig17": ("Figure 17: energy decomposition",
+              lambda config: fig17_energy.report(
+                  fig17_energy.run(config))),
+    "fig18": ("Figure 18: IPC time series, gemver",
+              lambda config: fig18_19_ipc.report(
+                  fig18_19_ipc.run_figure18(config))),
+    "fig19": ("Figure 19: IPC time series, doitg",
+              lambda config: fig18_19_ipc.report(
+                  fig18_19_ipc.run_figure19(config))),
+    "fig20": ("Figure 20: power/energy capture, gemver",
+              lambda config: fig20_21_power.report(
+                  fig20_21_power.run_figure20(config))),
+    "fig21": ("Figure 21: power/energy capture, doitg",
+              lambda config: fig20_21_power.report(
+                  fig20_21_power.run_figure21(config))),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the DRAM-less paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment",
+                            help="experiment id (see 'list') or 'all'")
+    run_parser.add_argument("--scale", type=float, default=0.25,
+                            help="footprint scale factor (default 0.25)")
+    run_parser.add_argument("--seed", type=int, default=1,
+                            help="trace seed (default 1)")
+    run_parser.add_argument("--quick", action="store_true",
+                            help="tiny two-workload configuration")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> runner.ExperimentConfig:
+    """Translate CLI flags into an ExperimentConfig."""
+    if args.quick:
+        return runner.ExperimentConfig(
+            scale=0.05, seed=args.seed, agents=3,
+            workloads=("gemver", "doitg"))
+    return runner.ExperimentConfig(scale=args.scale, seed=args.seed)
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+    chosen = (list(EXPERIMENTS) if args.experiment == "all"
+              else [args.experiment])
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"try 'list'", file=sys.stderr)
+        return 2
+    config = config_from_args(args)
+    for name in chosen:
+        _, run_fn = EXPERIMENTS[name]
+        print(run_fn(config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

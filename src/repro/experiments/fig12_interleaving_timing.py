@@ -1,0 +1,74 @@
+"""Figure 12: the multi-resource aware interleaving timeline.
+
+Reproduces the figure's two-request example: req-0 and req-1 target
+different partitions of the same chip.  Under interleaving, req-0's
+data burst proceeds during req-1's tRP+tRCD, so by the time the burst
+finishes, req-1's row is already in its RDB.  The experiment issues
+both requests against a real PRAM subsystem under the bare-metal and
+interleaving policies and reports the completion times.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.controller import MemoryRequest, Op, PramSubsystem, SchedulerPolicy
+from repro.pram import PramGeometry
+from repro.sim import Simulator
+
+#: Compact geometry (timing-identical; capacity is irrelevant here).
+_GEOMETRY = PramGeometry(channels=1, modules_per_channel=1,
+                         partitions_per_bank=4, tiles_per_partition=1,
+                         bitlines_per_tile=512, wordlines_per_tile=512)
+
+
+def _partition_stride() -> int:
+    geo = _GEOMETRY
+    return geo.row_bytes * geo.modules_per_channel * geo.channels
+
+
+def _run_policy(policy: SchedulerPolicy,
+                request_count: int) -> typing.List[float]:
+    sim = Simulator()
+    subsystem = PramSubsystem(sim, geometry=_GEOMETRY, policy=policy)
+    requests = [
+        MemoryRequest(Op.READ, i * _partition_stride(), _GEOMETRY.row_bytes)
+        for i in range(request_count)
+    ]
+
+    def driver():
+        pending = [sim.process(subsystem.submit(r)) for r in requests]
+        yield sim.all_of(pending)
+
+    sim.process(driver())
+    sim.run()
+    return [request.complete_time for request in requests]
+
+
+def run(request_count: int = 4) -> typing.Dict:
+    """Returns completion times under both policies plus the overlap."""
+    bare = _run_policy(SchedulerPolicy.BARE_METAL, request_count)
+    interleaved = _run_policy(SchedulerPolicy.INTERLEAVING, request_count)
+    bare_total = max(bare)
+    inter_total = max(interleaved)
+    return {
+        "request_count": request_count,
+        "bare_metal_completions_ns": bare,
+        "interleaved_completions_ns": interleaved,
+        "bare_metal_total_ns": bare_total,
+        "interleaved_total_ns": inter_total,
+        "hidden_fraction": 1.0 - inter_total / bare_total,
+    }
+
+
+def report(result: typing.Dict) -> str:
+    """Text rendering of the figure's data."""
+    lines = [
+        "Figure 12: multi-resource aware interleaving",
+        f"requests to distinct partitions: {result['request_count']}",
+        f"bare-metal completion: {result['bare_metal_total_ns']:.1f} ns",
+        f"interleaved completion: {result['interleaved_total_ns']:.1f} ns",
+        f"latency hidden: {result['hidden_fraction']:.1%} "
+        "(paper: interleaving hides access latency ~40%)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Figure 13: bare-metal vs interleaving vs selective-erasing vs final.
+
+Figure 13 is a *memory-subsystem* study: it compares the data
+processing bandwidth of the PRAM subsystem under a noop scheduler
+(Bare-metal) against the two proposed optimizations and their
+combination (Final), driven by the Polybench request streams.  We
+extract each workload's block-level memory request stream from its
+traces (7 concurrent agents, as many outstanding requests) and replay
+it directly against the subsystem — no compute masking.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.accel.isa import LoadOp, StoreOp
+from repro.controller import MemoryRequest, Op, PramSubsystem, SchedulerPolicy
+from repro.experiments.runner import (
+    ExperimentConfig,
+    format_table,
+    geometric_mean,
+)
+from repro.sim import Simulator
+from repro.systems.base import input_pattern
+from repro.workloads import workload
+from repro.workloads.trace import BLOCK_BYTES, TraceBundle
+
+POLICIES = (SchedulerPolicy.BARE_METAL, SchedulerPolicy.INTERLEAVING,
+            SchedulerPolicy.SELECTIVE_ERASE, SchedulerPolicy.FINAL)
+
+
+def subsystem_bandwidth(bundle: TraceBundle,
+                        policy: SchedulerPolicy) -> float:
+    """Replay ``bundle``'s request streams; returns MB/s."""
+    sim = Simulator()
+    subsystem = PramSubsystem(sim, policy=policy)
+    address, size = bundle.input_region
+    subsystem.preload(address, input_pattern(address, size))
+    total_bytes = 0
+
+    def agent_stream(trace) -> typing.Generator:
+        nonlocal total_bytes
+        seen_blocks: typing.Set[int] = set()
+        for op in trace:
+            if isinstance(op, LoadOp):
+                block = op.address // BLOCK_BYTES
+                if block in seen_blocks:
+                    continue  # cache hit: no memory request
+                seen_blocks.add(block)
+                yield sim.process(subsystem.read(
+                    block * BLOCK_BYTES, BLOCK_BYTES))
+                total_bytes += BLOCK_BYTES
+            elif isinstance(op, StoreOp):
+                yield sim.process(subsystem.write(
+                    op.address, b"\x5A" * op.size))
+                total_bytes += op.size
+
+    def driver() -> typing.Generator:
+        for round_traces in bundle.rounds:
+            # Section V-A: the pre-resets happen "while the server
+            # loads the target kernel" — before the round's request
+            # stream.  The drain runs module-parallel and its time
+            # counts against the policy.
+            out_address, out_size = bundle.output_region
+            subsystem.register_write_hint(out_address, out_size)
+            yield sim.process(subsystem.drain_hints())
+            agents = [sim.process(agent_stream(trace))
+                      for trace in round_traces]
+            yield sim.all_of(agents)
+
+    done = sim.process(driver())
+    sim.run()
+    if not done.ok:
+        raise typing.cast(BaseException, done.value)
+    return total_bytes / sim.now * 1e3  # bytes/ns -> MB/s
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> typing.Dict:
+    """Returns normalized bandwidth per (workload, policy)."""
+    rows = []
+    for name in config.workloads:
+        bundle = config.bundle(name)
+        bandwidth = {
+            policy.value: subsystem_bandwidth(bundle, policy)
+            for policy in POLICIES
+        }
+        baseline = bandwidth[SchedulerPolicy.BARE_METAL.value]
+        rows.append({
+            "workload": name,
+            "write_ratio": workload(name).write_ratio,
+            **{policy.value: bandwidth[policy.value] / baseline
+               for policy in POLICIES},
+        })
+    return {
+        "rows": rows,
+        "mean_final_gain": geometric_mean(
+            [row["final"] for row in rows]) - 1.0,
+        "mean_selective_gain": geometric_mean(
+            [row["selective-erasing"] for row in rows]) - 1.0,
+        "max_interleaving_gain": max(
+            row["interleaving"] for row in rows) - 1.0,
+    }
+
+
+def report(result: typing.Dict) -> str:
+    """Text rendering of the figure's data."""
+    headers = ["workload", "write ratio"] + [p.value for p in POLICIES]
+    table = format_table(headers, [
+        [row["workload"], row["write_ratio"]]
+        + [row[p.value] for p in POLICIES]
+        for row in result["rows"]
+    ])
+    summary = (
+        f"max interleaving gain: {result['max_interleaving_gain']:.1%} "
+        "(paper: up to 54%, trmm)\n"
+        f"mean selective-erasing gain: "
+        f"{result['mean_selective_gain']:.1%} (paper: ~57% on "
+        "write-bound workloads)\n"
+        f"mean final gain: {result['mean_final_gain']:.1%} "
+        "(paper: 77% on average)"
+    )
+    return f"Figure 13: subsystem schedulers\n{table}\n{summary}"

@@ -1,0 +1,74 @@
+"""Figure 15: data-processing throughput of the ten systems vs Hetero.
+
+The paper's headline comparison: every system's bandwidth normalized
+to the Hetero baseline across the Polybench suite.  Key claims:
+Heterodirect +25% over Hetero; DRAM-less +93%/+47% over
+Hetero/Heterodirect; DRAM-less +25% over DRAM-less (firmware); ~64%
+over PAGE-buffer's best scenarios.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    format_table,
+    geometric_mean,
+    run_matrix,
+)
+from repro.systems import SYSTEM_NAMES
+
+
+def run(config: ExperimentConfig = ExperimentConfig(),
+        systems: typing.Sequence[str] = SYSTEM_NAMES,
+        matrix: typing.Optional[typing.Dict] = None) -> typing.Dict:
+    """Returns the normalized-bandwidth matrix and headline means.
+
+    Pass ``matrix`` (from :func:`run_matrix`) to reuse executions
+    shared with Figures 16/17.
+    """
+    if matrix is None:
+        matrix = run_matrix(config, list(systems))
+    rows = []
+    for workload_name, results in matrix.items():
+        baseline = results["Hetero"].bandwidth_mb_s
+        rows.append({
+            "workload": workload_name,
+            **{name: results[name].bandwidth_mb_s / baseline
+               for name in systems},
+        })
+    means = {name: geometric_mean([row[name] for row in rows])
+             for name in systems}
+    return {
+        "systems": list(systems),
+        "rows": rows,
+        "means": means,
+        "dramless_vs_hetero": means["DRAM-less"] - 1.0,
+        "dramless_vs_heterodirect":
+            means["DRAM-less"] / means["Heterodirect"] - 1.0,
+        "dramless_vs_firmware":
+            means["DRAM-less"] / means["DRAM-less (firmware)"] - 1.0,
+        "heterodirect_vs_hetero": means["Heterodirect"] - 1.0,
+    }
+
+
+def report(result: typing.Dict) -> str:
+    """Text rendering of the figure's data."""
+    systems = result["systems"]
+    table = format_table(
+        ["workload"] + list(systems),
+        [[row["workload"]] + [row[name] for name in systems]
+         for row in result["rows"]]
+        + [["geomean"] + [result["means"][name] for name in systems]])
+    summary = (
+        f"DRAM-less vs Hetero: +{result['dramless_vs_hetero']:.0%} "
+        "(paper: +93%)\n"
+        f"DRAM-less vs Heterodirect: "
+        f"+{result['dramless_vs_heterodirect']:.0%} (paper: +47%)\n"
+        f"DRAM-less vs DRAM-less (firmware): "
+        f"+{result['dramless_vs_firmware']:.0%} (paper: +25%)\n"
+        f"Heterodirect vs Hetero: "
+        f"+{result['heterodirect_vs_hetero']:.0%} (paper: +25%)"
+    )
+    return f"Figure 15: normalized throughput\n{table}\n{summary}"

@@ -1,0 +1,85 @@
+"""Figures 20 and 21: core power and cumulative energy, first 16 KB.
+
+The paper captures the first 16 KB of data processing and plots each
+system's overall core power over time (a) and total energy (b) for the
+read-intensive (gemver, Figure 20) and write-intensive (doitg,
+Figure 21) workloads.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.accel import AcceleratorConfig
+from repro.systems import SystemConfig, build_system
+from repro.workloads import generate_traces, workload
+from repro.experiments.runner import ExperimentConfig, format_table
+
+#: The systems Figures 20/21 plot.
+POWER_SYSTEMS = ("Integrated-SLC", "PAGE-buffer", "NOR-intf", "DRAM-less")
+
+#: Footprint of the captured window: "first 16KB data processing".
+CAPTURE_BYTES = 16 * 1024
+
+
+def run(workload_name: str,
+        config: ExperimentConfig = ExperimentConfig(),
+        systems: typing.Sequence[str] = POWER_SYSTEMS,
+        buckets: int = 32) -> typing.Dict:
+    """Returns power series, completion time, and total energy."""
+    spec = workload(workload_name)
+    # Scale the reference footprint down to a 16 KB capture window.
+    scale = CAPTURE_BYTES / (spec.total_kb * 1024)
+    bundle = generate_traces(spec, agents=config.agents, scale=scale,
+                             seed=config.seed, rounds=1)
+    system_config = SystemConfig(
+        accelerator=AcceleratorConfig(l1_bytes=config.l1_bytes,
+                                      l2_bytes=config.l2_bytes),
+        dram_fraction=config.dram_fraction)
+    power = {}
+    completion = {}
+    energy = {}
+    for name in systems:
+        result = build_system(name, system_config).run(bundle)
+        end = result.total_ns
+        power[name] = result.core_power.resample(0.0, end, buckets)
+        completion[name] = end
+        energy[name] = result.energy_mj
+    return {
+        "workload": workload_name,
+        "systems": list(systems),
+        "power_series": power,
+        "completion_ns": completion,
+        "energy_mj": energy,
+    }
+
+
+def run_figure20(config: ExperimentConfig = ExperimentConfig()
+                 ) -> typing.Dict:
+    """Figure 20: gemver (read-intensive) power/energy capture."""
+    return run("gemver", config)
+
+
+def run_figure21(config: ExperimentConfig = ExperimentConfig()
+                 ) -> typing.Dict:
+    """Figure 21: doitg (write-intensive) power/energy capture."""
+    return run("doitg", config)
+
+
+def report(result: typing.Dict) -> str:
+    """Text rendering: completion time, mean power, total energy."""
+    rows = []
+    for name in result["systems"]:
+        samples = result["power_series"][name]
+        mean_power = sum(v for _, v in samples) / len(samples)
+        rows.append([name, result["completion_ns"][name] / 1e3,
+                     mean_power, result["energy_mj"][name]])
+    table = format_table(
+        ["system", "completion (us)", "mean core power (W)",
+         "total energy (mJ)"], rows)
+    from repro.experiments.plot import series_chart
+
+    chart = series_chart(result["power_series"])
+    return (f"Figures 20/21: first-16KB capture under "
+            f"{result['workload']}\n{table}\n\n"
+            f"core power over (each system's own) run time:\n{chart}")

@@ -1,0 +1,52 @@
+"""Terminal rendering for time series (the Figures 18-21 curves).
+
+Block-character sparklines: good enough to see the zero-IPC valleys of
+the page-granule systems and the sustained line of DRAM-less without
+leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import typing
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: typing.Sequence[float],
+              maximum: typing.Optional[float] = None) -> str:
+    """Render values as one line of block characters.
+
+    ``maximum`` fixes the y-scale (shared across series); defaults to
+    the series' own max.
+    """
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return _BLOCKS[0] * len(values)
+    out = []
+    for value in values:
+        level = min(len(_BLOCKS) - 1,
+                    max(0, round(value / top * (len(_BLOCKS) - 1))))
+        out.append(_BLOCKS[level])
+    return "".join(out)
+
+
+def series_chart(series: typing.Mapping[str, typing.Sequence[
+        typing.Tuple[float, float]]],
+        label_width: int = 22) -> str:
+    """Render several (time, value) sample lists on a shared y-scale.
+
+    One sparkline row per series, labelled, plus a scale footer.
+    """
+    if not series:
+        return "(no series)"
+    peak = max((value for samples in series.values()
+                for _, value in samples), default=0.0)
+    lines = []
+    for name, samples in series.items():
+        values = [value for _, value in samples]
+        lines.append(f"{name:<{label_width}} "
+                     f"{sparkline(values, maximum=peak)}")
+    lines.append(f"{'':<{label_width}} scale: 0 .. {peak:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Tables I-III: configuration parameters as verifiable structures."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments.runner import format_table
+from repro.pram import PramGeometry, PramTimingParams
+from repro.storage import FlashCellType
+from repro.storage.nor_pram import NOR_READ_32B_NS, NOR_WRITE_32B_NS
+from repro.storage.optane import PRAM_SSD_READ_NS
+from repro.systems import SYSTEM_NAMES, build_system
+from repro.workloads import all_workloads
+
+
+def table1_configuration() -> typing.List[typing.Dict[str, object]]:
+    """Table I: key parameters of every evaluated system."""
+    rows = []
+    for name in SYSTEM_NAMES:
+        system = build_system(name)
+        rows.append({
+            "system": name,
+            "heterogeneous": system.heterogeneous,
+            "internal_dram": system.has_internal_dram,
+            "nvm_read_us": _nvm_read_us(name),
+            "nvm_write_us": _nvm_write_us(name),
+        })
+    return rows
+
+
+def _nvm_read_us(name: str) -> float:
+    if name in ("Hetero", "Heterodirect"):
+        return FlashCellType.MLC.read_ns / 1e3
+    if name in ("Hetero-PRAM", "Heterodirect-PRAM"):
+        return PRAM_SSD_READ_NS / 1e3
+    if name == "NOR-intf":
+        return NOR_READ_32B_NS / 1e3
+    if name.startswith("Integrated"):
+        cell = FlashCellType[name.split("-")[1]]
+        return cell.read_ns / 1e3
+    return 0.1  # PAGE-buffer and DRAM-less: the 3x nm PRAM
+
+
+def _nvm_write_us(name: str) -> float:
+    params = PramTimingParams()
+    if name in ("Hetero", "Heterodirect"):
+        return FlashCellType.MLC.program_ns / 1e3
+    if name in ("Hetero-PRAM", "Heterodirect-PRAM"):
+        return params.write_pristine_ns / 1e3
+    if name == "NOR-intf":
+        return NOR_WRITE_32B_NS / 1e3
+    if name.startswith("Integrated"):
+        cell = FlashCellType[name.split("-")[1]]
+        return cell.program_ns / 1e3
+    return params.write_pristine_ns / 1e3
+
+
+def table2_pram_parameters() -> typing.Dict[str, object]:
+    """Table II: the characterized PRAM parameters."""
+    params = PramTimingParams()
+    geometry = PramGeometry()
+    return {
+        "RL_cycles": params.read_latency_cycles,
+        "WL_cycles": params.write_latency_cycles,
+        "tCK_ns": params.tck_ns,
+        "tRP_cycles": params.trp_cycles,
+        "tRCD_ns": params.trcd_ns,
+        "tDQSCK_ns": params.tdqsck_ns,
+        "tDQSS_ns": params.tdqss_ns,
+        "tWR_ns": params.twr_ns,
+        "burst_length": params.burst_length,
+        "RAB": geometry.rab_count,
+        "RDB": geometry.rdb_count,
+        "RDB_bytes": geometry.row_bytes,
+        "channels": geometry.channels,
+        "packages": geometry.modules_per_channel,
+        "partitions": geometry.partitions_per_bank,
+        "write_us": (params.write_pristine_ns / 1e3,
+                     params.write_overwrite_ns / 1e3),
+    }
+
+
+def table3_workloads() -> typing.List[typing.Dict[str, object]]:
+    """Table III: workload characteristics."""
+    rows = []
+    for spec in all_workloads():
+        rows.append({
+            "workload": spec.name,
+            "category": spec.category.value,
+            "input_kb": spec.input_kb,
+            "output_kb": spec.output_kb,
+            "write_ratio": round(spec.write_ratio, 3),
+            "ops_per_byte": spec.compute_ops_per_byte,
+            "kernel_rounds": spec.kernel_rounds,
+        })
+    return rows
+
+
+def report() -> str:
+    """All three tables rendered as text."""
+    sections = []
+    rows1 = table1_configuration()
+    sections.append("Table I: evaluated systems")
+    sections.append(format_table(
+        list(rows1[0].keys()),
+        [list(row.values()) for row in rows1]))
+    t2 = table2_pram_parameters()
+    sections.append("\nTable II: PRAM parameters")
+    sections.append(format_table(["parameter", "value"],
+                                 [[k, str(v)] for k, v in t2.items()]))
+    rows3 = table3_workloads()
+    sections.append("\nTable III: workloads")
+    sections.append(format_table(
+        list(rows3[0].keys()),
+        [list(row.values()) for row in rows3]))
+    return "\n".join(sections)

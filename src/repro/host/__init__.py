@@ -1,0 +1,20 @@
+"""Host-side models: CPU costs, PCIe, the storage software stack, P2P DMA.
+
+These models produce the "software intervention" and "redundant data
+copy" overheads Figures 1 and 15-17 attribute to conventional
+accelerated systems: every SSD access from the accelerator bounces
+through syscalls, user/kernel mode switches, and host-DRAM copies.
+"""
+
+from repro.host.cpu import HostCpu, HostCpuCosts
+from repro.host.p2p_dma import PeerToPeerDma
+from repro.host.pcie import PcieLink
+from repro.host.software_stack import StorageSoftwareStack
+
+__all__ = [
+    "HostCpu",
+    "HostCpuCosts",
+    "PcieLink",
+    "PeerToPeerDma",
+    "StorageSoftwareStack",
+]

@@ -1,0 +1,73 @@
+"""The host storage software stack (filesystem + block layer + driver).
+
+This is the path Figure 5a draws: an accelerator-side data need becomes
+a file read on the host — syscall, filesystem work, a DMA from the SSD
+into the page cache, a copy into the user buffer, deserialization, a
+copy into the pinned DMA buffer, and finally a PCIe transfer to the
+accelerator.  Writes run the inverse order.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.host.cpu import HostCpu
+from repro.host.pcie import PcieLink
+from repro.sim import Simulator
+
+#: Filesystem + block-layer CPU work per I/O request, ns (lookup,
+#: page-cache management, bio assembly, driver submission).
+FILESYSTEM_REQUEST_NS = 5_000.0
+
+
+class StorageSoftwareStack:
+    """Host-mediated data movement between an SSD and the accelerator."""
+
+    def __init__(self, sim: Simulator, cpu: HostCpu, ssd,
+                 ssd_link: PcieLink, accel_link: PcieLink) -> None:
+        self.sim = sim
+        self.cpu = cpu
+        self.ssd = ssd
+        self.ssd_link = ssd_link
+        self.accel_link = accel_link
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    # The two directions of Figure 5a's protocol
+    # ------------------------------------------------------------------
+    def load_to_accelerator(self, address: int,
+                            size: int) -> typing.Generator:
+        """SSD -> host DRAM -> accelerator DRAM, with all software costs.
+
+        Returns the data read.
+        """
+        self.requests += 1
+        yield from self.cpu.syscall()
+        yield from self.cpu.run(FILESYSTEM_REQUEST_NS)
+        yield from self.cpu.context_switch()       # block on the I/O
+        data = yield from self.ssd.read(address, size)
+        yield from self.ssd_link.transfer(size)     # SSD DMA to page cache
+        yield from self.cpu.handle_interrupt()
+        yield from self.cpu.copy(size)              # page cache -> user
+        yield from self.cpu.deserialize(size)       # file -> objects
+        yield from self.cpu.copy(size)              # user -> pinned buffer
+        yield from self.cpu.syscall()               # submit to accelerator
+        yield from self.accel_link.transfer(size)   # host -> accelerator
+        return data
+
+    def store_from_accelerator(self, address: int,
+                               data: bytes) -> typing.Generator:
+        """Accelerator DRAM -> host DRAM -> SSD (inverse of loading)."""
+        self.requests += 1
+        size = len(data)
+        yield from self.accel_link.transfer(size)   # accelerator -> host
+        yield from self.cpu.handle_interrupt()
+        yield from self.cpu.copy(size)              # pinned -> user
+        yield from self.cpu.deserialize(size)       # objects -> file bytes
+        yield from self.cpu.syscall()
+        yield from self.cpu.run(FILESYSTEM_REQUEST_NS)
+        yield from self.cpu.copy(size)              # user -> page cache
+        yield from self.cpu.context_switch()
+        yield from self.ssd_link.transfer(size)
+        yield from self.ssd.write(address, data)
+        yield from self.cpu.handle_interrupt()

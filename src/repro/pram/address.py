@@ -1,0 +1,138 @@
+"""Address decomposition for the PRAM subsystem.
+
+Flat byte addresses (what the accelerator's MCU issues) stripe across
+the device hierarchy to match Section III-B's layout — "the server
+initiates a memory request based on 512 bytes per channel (32 bytes per
+bank)"::
+
+    flat = ((((row * partitions + partition) * channels + channel)
+             * modules + module) * row_bytes) + column
+
+so with the default geometry the stripe units are: 32 B per module
+(bank), 512 B per channel, 1 KiB per partition rotation, 16 KiB per
+row.  A 512-byte request therefore touches all 16 modules of one
+channel at 32 bytes each, and successive requests rotate through the
+partitions — the layout multi-resource aware interleaving exploits.
+
+Three-phase addressing splits the row index into an upper part (stored
+in a RAB during pre-active) and a lower part (delivered directly with
+the activate command).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.pram.constants import PramGeometry
+from repro.pram.errors import AddressError
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class PramAddress:
+    """A fully decomposed PRAM location."""
+
+    channel: int
+    module: int
+    partition: int
+    row: int
+    column: int  # byte offset within the row
+
+    def row_key(self) -> typing.Tuple[int, int, int, int]:
+        """Hashable identity of the row this address falls in."""
+        return (self.channel, self.module, self.partition, self.row)
+
+
+class AddressMap:
+    """Bidirectional flat-address ⇄ :class:`PramAddress` mapping."""
+
+    def __init__(self, geometry: typing.Optional[PramGeometry] = None) -> None:
+        self.geometry = geometry or PramGeometry()
+
+    def decompose(self, flat: int) -> PramAddress:
+        """Split a flat byte address into device coordinates."""
+        geo = self.geometry
+        if flat < 0:
+            raise AddressError(f"negative address: {flat}")
+        if flat >= geo.total_bytes:
+            raise AddressError(
+                f"address {flat:#x} beyond capacity {geo.total_bytes:#x}"
+            )
+        column = flat % geo.row_bytes
+        rest = flat // geo.row_bytes
+        module = rest % geo.modules_per_channel
+        rest //= geo.modules_per_channel
+        channel = rest % geo.channels
+        rest //= geo.channels
+        partition = rest % geo.partitions_per_bank
+        row = rest // geo.partitions_per_bank
+        return PramAddress(channel, module, partition, row, column)
+
+    def compose(self, address: PramAddress) -> int:
+        """Inverse of :meth:`decompose`."""
+        geo = self.geometry
+        self._validate(address)
+        rest = address.row
+        rest = rest * geo.partitions_per_bank + address.partition
+        rest = rest * geo.channels + address.channel
+        rest = rest * geo.modules_per_channel + address.module
+        return rest * geo.row_bytes + address.column
+
+    def split_row(self, row: int) -> typing.Tuple[int, int]:
+        """Split a row index into (upper, lower) three-phase parts."""
+        geo = self.geometry
+        if not 0 <= row < geo.rows_per_partition:
+            raise AddressError(f"row {row} out of range")
+        mask = (1 << geo.lower_row_bits) - 1
+        return row >> geo.lower_row_bits, row & mask
+
+    def join_row(self, upper: int, lower: int) -> int:
+        """Recompose a row index from its (upper, lower) parts."""
+        geo = self.geometry
+        if lower < 0 or lower >= (1 << geo.lower_row_bits):
+            raise AddressError(f"lower row part {lower} out of range")
+        if upper < 0:
+            raise AddressError(f"negative upper row part: {upper}")
+        row = (upper << geo.lower_row_bits) | lower
+        if row >= geo.rows_per_partition:
+            raise AddressError(
+                f"recomposed row {row} beyond partition "
+                f"({geo.rows_per_partition} rows)"
+            )
+        return row
+
+    def iter_rows(self, flat: int, size: int) -> typing.Iterator[
+            typing.Tuple[PramAddress, int, int]]:
+        """Yield (row-aligned address, offset-into-request, chunk bytes)
+        triples covering ``[flat, flat + size)``.
+
+        Requests larger than one 32-byte row are the norm (the server
+        issues 512 B per channel); the controller turns each chunk into
+        one three-phase access.
+        """
+        if size < 0:
+            raise AddressError(f"negative size: {size}")
+        geo = self.geometry
+        cursor = flat
+        produced = 0
+        while produced < size:
+            address = self.decompose(cursor)
+            chunk = min(geo.row_bytes - address.column, size - produced)
+            yield address, produced, chunk
+            produced += chunk
+            cursor += chunk
+
+    def _validate(self, address: PramAddress) -> None:
+        geo = self.geometry
+        checks = (
+            ("channel", address.channel, geo.channels),
+            ("module", address.module, geo.modules_per_channel),
+            ("partition", address.partition, geo.partitions_per_bank),
+            ("row", address.row, geo.rows_per_partition),
+            ("column", address.column, geo.row_bytes),
+        )
+        for name, value, bound in checks:
+            if not 0 <= value < bound:
+                raise AddressError(
+                    f"{name}={value} out of range [0, {bound})"
+                )

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the PRAM device model."""
+
+
+class PramError(Exception):
+    """Base class for every PRAM device-model error."""
+
+
+class AddressError(PramError):
+    """An address is outside the device geometry or misaligned."""
+
+
+class ProtocolError(PramError):
+    """A three-phase-addressing command arrived in an illegal order."""
+
+
+class BufferMissError(PramError):
+    """A read/write phase referenced a row buffer with no valid data."""
+
+
+class PartitionBusyError(PramError):
+    """An array operation targeted a partition still busy programming."""

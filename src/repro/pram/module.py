@@ -1,0 +1,354 @@
+"""One PRAM chip: the LPDDR2-NVM three-phase-addressing state machine.
+
+The module is a *timed functional model*: every operation takes the
+current simulated time ``now``, mutates device state, and returns the
+time at which the operation finishes.  Simulation processes then sleep
+until that finish time.  Partition busy windows are tracked inside the
+module so overlapping schedules (the interleaving scheduler) and
+blocking ones (bare-metal) exercise the same device.
+
+Data is real: reads return the bytes earlier programs stored, with
+unwritten rows reading as zeros (the pristine RESET state).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.pram import overlay_window as ow
+from repro.pram.cell import WordStateTracker
+from repro.pram.constants import PramGeometry, PramTimingParams
+from repro.pram.errors import AddressError, BufferMissError, ProtocolError
+from repro.pram.row_buffer import RowBufferSet
+from repro.pram.timing import TimingModel
+
+
+class PramModule:
+    """A single multi-partition PRAM package."""
+
+    def __init__(self, geometry: PramGeometry = PramGeometry(),
+                 params: PramTimingParams = PramTimingParams(),
+                 channel_id: int = 0, module_id: int = 0) -> None:
+        self.geometry = geometry
+        self.params = params
+        self.timing = TimingModel(params, geometry)
+        self.channel_id = channel_id
+        self.module_id = module_id
+        self.buffers = RowBufferSet(geometry.rdb_count, geometry.row_bytes)
+        self.window = ow.OverlayWindow()
+        self._storage: typing.Dict[typing.Tuple[int, int], bytes] = {}
+        self._cells = [WordStateTracker(geometry.words_per_row)
+                       for _ in range(geometry.partitions_per_bank)]
+        self._partition_busy_until = [0.0] * geometry.partitions_per_bank
+        # When each row was last programmed (simulated ns); consumers
+        # of write hints use this to skip rows rewritten after the
+        # hint was registered.
+        self._last_program: typing.Dict[typing.Tuple[int, int], float] = {}
+        # Write-pausing support ([66]): per-partition in-flight program
+        # end times and remaining time of paused programs.
+        self._program_end: typing.Dict[int, float] = {}
+        self._paused_remaining: typing.Dict[int, float] = {}
+        self.pauses = 0
+        # Operation counters for the energy model and diagnostics.
+        self.reads = 0
+        self.programs = 0
+        self.resets = 0
+        self.erases = 0
+
+    # ------------------------------------------------------------------
+    # Partition busy bookkeeping
+    # ------------------------------------------------------------------
+    def partition_ready_at(self, partition: int) -> float:
+        """Earliest time an array operation can start on ``partition``."""
+        self._check_partition(partition)
+        return self._partition_busy_until[partition]
+
+    def program_in_flight(self, partition: int, now: float) -> bool:
+        """Is an array program still running on ``partition``?"""
+        self._check_partition(partition)
+        return (self._program_end.get(partition, float("-inf")) > now)
+
+    def pause_program(self, partition: int, now: float,
+                      resume_penalty_ns: float) -> bool:
+        """Pause an in-flight program so a read can cut in ([66]).
+
+        Frees the partition immediately; the remaining program time
+        (plus the resume penalty) must be re-applied with
+        :meth:`resume_program` once the read has been issued.  Returns
+        False (no-op) when nothing is programming.
+        """
+        if not self.program_in_flight(partition, now):
+            return False
+        remaining = self._partition_busy_until[partition] - now
+        self._paused_remaining[partition] = remaining + resume_penalty_ns
+        self._partition_busy_until[partition] = now
+        self._program_end[partition] = now
+        self.pauses += 1
+        return True
+
+    def resume_program(self, partition: int, now: float) -> float:
+        """Resume a paused program; returns its new completion time."""
+        self._check_partition(partition)
+        remaining = self._paused_remaining.pop(partition, 0.0)
+        if remaining <= 0:
+            return self._partition_busy_until[partition]
+        finish = self._occupy(partition, now, remaining)
+        self._program_end[partition] = finish
+        return finish
+
+    def _occupy(self, partition: int, start: float, duration: float) -> float:
+        begin = max(start, self._partition_busy_until[partition])
+        finish = begin + duration
+        self._partition_busy_until[partition] = finish
+        return finish
+
+    # ------------------------------------------------------------------
+    # Three-phase addressing
+    # ------------------------------------------------------------------
+    def pre_active(self, now: float, buffer_id: int,
+                   upper_row: int) -> float:
+        """Phase 1: latch ``upper_row`` into the selected RAB."""
+        if upper_row < 0 or upper_row >= (
+                1 << max(1, self.geometry.upper_row_bits)):
+            raise AddressError(f"upper row {upper_row} out of range")
+        self.buffers.load_rab(buffer_id, upper_row)
+        return now + self.timing.pre_active()
+
+    def activate(self, now: float, buffer_id: int, partition: int,
+                 lower_row: int) -> float:
+        """Phase 2: compose the row address, sense the row into the RDB.
+
+        The composed address is checked against the overlay-window
+        range (Section V-A); window-mapped rows never touch the array.
+        """
+        self._check_partition(partition)
+        pair = self.buffers.pair(buffer_id)
+        if not pair.rab_valid:
+            raise ProtocolError(
+                f"activate on buffer {buffer_id} before any pre-active"
+            )
+        row = self._compose_row(pair.upper_row, lower_row)
+        finish = self._occupy(partition, now, self.timing.activate())
+        data = self._read_row(partition, row)
+        self.buffers.load_rdb(buffer_id, partition, row, data)
+        return finish
+
+    def read_burst(self, now: float, buffer_id: int, column: int,
+                   size: int) -> typing.Tuple[float, bytes]:
+        """Phase 3 (read): stream ``size`` bytes out of the RDB."""
+        pair = self.buffers.pair(buffer_id)
+        if not pair.rdb_valid or pair.data is None:
+            raise BufferMissError(
+                f"read burst on buffer {buffer_id} with no valid RDB"
+            )
+        if column < 0 or column + size > self.geometry.row_bytes:
+            raise AddressError(
+                f"burst [{column}, {column + size}) exceeds the "
+                f"{self.geometry.row_bytes}-byte row buffer"
+            )
+        self.reads += 1
+        finish = now + self.timing.read_preamble() + self.timing.burst(size)
+        return finish, pair.data[column:column + size]
+
+    # ------------------------------------------------------------------
+    # Write path: overlay window + program buffer
+    # ------------------------------------------------------------------
+    def stage_program(self, now: float, partition: int, row: int,
+                      column: int, data: bytes,
+                      command: int = ow.CMD_PROGRAM) -> float:
+        """Fill the overlay-window registers and program buffer.
+
+        Models the translator's register-write sequence (Section V-B):
+        command code, target address, burst size, then the payload burst
+        into the program buffer.  Returns when staging completes; call
+        :meth:`execute_program` afterwards to launch the array program.
+        """
+        self._check_partition(partition)
+        if row < 0 or row >= self.geometry.rows_per_partition:
+            raise AddressError(f"row {row} out of range")
+        if column < 0 or column + len(data) > self.window.program_buffer_bytes:
+            raise AddressError("payload exceeds the program buffer")
+        if not data:
+            raise ProtocolError("empty program payload")
+        self.window.write_register(ow.REG_COMMAND, command)
+        self.window.write_register(
+            ow.REG_ADDRESS,
+            (partition * self.geometry.rows_per_partition + row)
+            * self.geometry.row_bytes + column,
+        )
+        self.window.write_register(ow.REG_MULTIPURPOSE, len(data))
+        self.window.write_buffer(0, data)
+        return (now + self.timing.activate() + self.timing.write_preamble()
+                + self.timing.burst(len(data)))
+
+    def execute_program(self, now: float) -> float:
+        """Poke the execute register: program staged data to the array.
+
+        Returns the completion time.  The target partition is busy for
+        the whole array program; the overlay window frees at the same
+        instant (status register back to idle).
+        """
+        self.window.write_register(ow.REG_EXECUTE, 1)
+        command, flat, size, payload = self.window.launch()
+        partition, row, column = self._split_window_address(flat)
+        if command == ow.CMD_PROGRAM:
+            rows_touched = (column + max(size, 1) + self.geometry.row_bytes
+                            - 1) // self.geometry.row_bytes
+            for offset in range(rows_touched):
+                self._last_program[(partition, row + offset)] = now
+        if command == ow.CMD_ERASE:
+            duration = self.timing.array_erase()
+            finish = self._occupy(partition, now, duration)
+            self._erase_partition(partition)
+            self.erases += 1
+        elif command == ow.CMD_SELECTIVE_ERASE:
+            duration = self._apply_reset(partition, row, column, size)
+            finish = self._occupy(partition, now, duration)
+            self.resets += 1
+        else:
+            duration = self._apply_program(partition, row, column, payload)
+            finish = self._occupy(partition, now, duration)
+            self.programs += 1
+        self._program_end[partition] = finish
+        finish += self.timing.write_recovery()
+        self.window.complete()
+        return finish
+
+    # ------------------------------------------------------------------
+    # Planning helpers for schedulers (no state change)
+    # ------------------------------------------------------------------
+    def program_needs_reset(self, partition: int, row: int, column: int,
+                            size: int) -> bool:
+        """Would a program of [column, column+size) pay the RESET pass?"""
+        self._check_partition(partition)
+        for target_row, words in self._words_touched(row, column, size):
+            if self._cells[partition].needs_reset(target_row, words):
+                return True
+        return False
+
+    def last_program_time(self, partition: int, row: int) -> float:
+        """When the row was last programmed (-inf if never)."""
+        self._check_partition(partition)
+        return self._last_program.get((partition, row), float("-inf"))
+
+    def cell_tracker(self, partition: int) -> WordStateTracker:
+        """Cell-state tracker of one partition (tests, wear studies)."""
+        self._check_partition(partition)
+        return self._cells[partition]
+
+    def peek(self, partition: int, row: int) -> bytes:
+        """Direct functional read of one row (testing/verification)."""
+        self._check_partition(partition)
+        return self._read_row(partition, row)
+
+    def poke(self, partition: int, row: int, data: bytes) -> None:
+        """Zero-time backing-store initialization (data pre-placement).
+
+        Mirrors the paper's experimental setup step that initializes
+        input data in persistent storage before runs.  Marks the
+        touched words programmed so later overwrites price correctly.
+        """
+        self._check_partition(partition)
+        if len(data) != self.geometry.row_bytes:
+            raise AddressError(
+                f"poke must cover the whole {self.geometry.row_bytes}-byte row"
+            )
+        self._storage[(partition, row)] = bytes(data)
+        self._cells[partition].program(row, range(self.geometry.words_per_row))
+        self.buffers.invalidate_row(partition, row)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.geometry.partitions_per_bank:
+            raise AddressError(
+                f"partition {partition} out of range "
+                f"[0, {self.geometry.partitions_per_bank})"
+            )
+
+    def _compose_row(self, upper: typing.Optional[int], lower: int) -> int:
+        if upper is None:
+            raise ProtocolError("RAB holds no upper row address")
+        if lower < 0 or lower >= (1 << self.geometry.lower_row_bits):
+            raise AddressError(f"lower row {lower} out of range")
+        row = (upper << self.geometry.lower_row_bits) | lower
+        if row >= self.geometry.rows_per_partition:
+            raise AddressError(f"composed row {row} beyond partition")
+        return row
+
+    def _read_row(self, partition: int, row: int) -> bytes:
+        if row < 0 or row >= self.geometry.rows_per_partition:
+            raise AddressError(f"row {row} out of range")
+        blank = bytes(self.geometry.row_bytes)
+        return self._storage.get((partition, row), blank)
+
+    def _split_window_address(self, flat: int) -> typing.Tuple[int, int, int]:
+        column = flat % self.geometry.row_bytes
+        rest = flat // self.geometry.row_bytes
+        row = rest % self.geometry.rows_per_partition
+        partition = rest // self.geometry.rows_per_partition
+        self._check_partition(partition)
+        return partition, row, column
+
+    def _words_touched(self, row: int, column: int, size: int) -> typing.List[
+            typing.Tuple[int, typing.List[int]]]:
+        """(row, word indices) pairs a program starting at (row, column)
+        of ``size`` bytes will touch; programs may spill into later rows."""
+        geo = self.geometry
+        result = []
+        offset = column
+        remaining = size
+        current_row = row
+        while remaining > 0:
+            chunk = min(geo.row_bytes - offset, remaining)
+            first_word = offset // geo.word_bytes
+            last_word = (offset + chunk - 1) // geo.word_bytes
+            result.append((current_row, list(range(first_word, last_word + 1))))
+            remaining -= chunk
+            offset = 0
+            current_row += 1
+            if current_row > geo.rows_per_partition:
+                raise AddressError("program spills past the partition")
+        return result
+
+    def _apply_program(self, partition: int, row: int, column: int,
+                       payload: bytes) -> float:
+        duration = 0.0
+        tracker = self._cells[partition]
+        cursor = 0
+        for target_row, words in self._words_touched(row, column, len(payload)):
+            start = column if target_row == row else 0
+            chunk = min(self.geometry.row_bytes - start, len(payload) - cursor)
+            needs_reset = tracker.program(target_row, words)
+            duration += self.timing.array_program(needs_reset)
+            existing = bytearray(self._read_row(partition, target_row))
+            existing[start:start + chunk] = payload[cursor:cursor + chunk]
+            self._storage[(partition, target_row)] = bytes(existing)
+            self.buffers.invalidate_row(partition, target_row)
+            cursor += chunk
+        return duration
+
+    def _apply_reset(self, partition: int, row: int, column: int,
+                     size: int) -> float:
+        duration = 0.0
+        tracker = self._cells[partition]
+        for target_row, words in self._words_touched(row, column, size):
+            start = column if target_row == row else 0
+            chunk = min(self.geometry.row_bytes - start, size)
+            tracker.reset(target_row, words)
+            duration += self.timing.array_reset_only()
+            existing = bytearray(self._read_row(partition, target_row))
+            existing[start:start + chunk] = bytes(chunk)
+            self._storage[(partition, target_row)] = bytes(existing)
+            self.buffers.invalidate_row(partition, target_row)
+            size -= chunk
+        return duration
+
+    def _erase_partition(self, partition: int) -> None:
+        tracker = self._cells[partition]
+        rows = [row for (part, row) in self._storage if part == partition]
+        tracker.erase_rows(rows)
+        for row in rows:
+            del self._storage[(partition, row)]
+            self.buffers.invalidate_row(partition, row)

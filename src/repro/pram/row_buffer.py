@@ -1,0 +1,140 @@
+"""The multi-row-buffer file: paired RABs and RDBs (Section II-A).
+
+Each buffer identification number selects a logical pair: the row
+address buffer (RAB) holds the upper row address delivered during the
+pre-active phase; the row data buffer (RDB) holds the 256-bit row the
+activate phase fetched.  The controller consults this state to decide
+which addressing phases it can skip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass
+class RowBufferPair:
+    """One RAB/RDB pair."""
+
+    buffer_id: int
+    upper_row: typing.Optional[int] = None       # RAB contents
+    rab_valid: bool = False
+    partition: typing.Optional[int] = None       # RDB tag
+    row: typing.Optional[int] = None             # RDB tag
+    data: typing.Optional[bytes] = None          # RDB contents
+    rdb_valid: bool = False
+    last_use: int = 0                            # LRU stamp
+
+
+class RowBufferSet:
+    """All RAB/RDB pairs of one PRAM module, with LRU victim choice."""
+
+    def __init__(self, count: int, row_bytes: int) -> None:
+        if count < 1:
+            raise ValueError(f"need at least one buffer pair, got {count}")
+        self.row_bytes = row_bytes
+        self._pairs = [RowBufferPair(buffer_id=i) for i in range(count)]
+        self._clock = 0
+        self.rab_hits = 0
+        self.rdb_hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def pair(self, buffer_id: int) -> RowBufferPair:
+        """The pair selected by a BA signal."""
+        if not 0 <= buffer_id < len(self._pairs):
+            raise ValueError(
+                f"buffer id {buffer_id} out of range [0, {len(self._pairs)})"
+            )
+        return self._pairs[buffer_id]
+
+    def _touch(self, pair: RowBufferPair) -> None:
+        self._clock += 1
+        pair.last_use = self._clock
+
+    # ------------------------------------------------------------------
+    # Lookup used for phase skipping
+    # ------------------------------------------------------------------
+    def find_rdb(self, partition: int,
+                 row: int) -> typing.Optional[RowBufferPair]:
+        """Pair whose RDB holds ``row`` of ``partition``, if any.
+
+        A hit lets the controller skip both pre-active and activate.
+        """
+        for pair in self._pairs:
+            if (pair.rdb_valid and pair.partition == partition
+                    and pair.row == row):
+                self.rdb_hits += 1
+                self._touch(pair)
+                return pair
+        return None
+
+    def find_rab(self, upper_row: int) -> typing.Optional[RowBufferPair]:
+        """Pair whose RAB already holds ``upper_row``, if any.
+
+        A hit lets the controller skip the pre-active phase.
+        """
+        for pair in self._pairs:
+            if pair.rab_valid and pair.upper_row == upper_row:
+                self.rab_hits += 1
+                self._touch(pair)
+                return pair
+        return None
+
+    def victim(self) -> RowBufferPair:
+        """Least-recently-used pair, for allocation on a miss."""
+        self.misses += 1
+        pair = min(self._pairs, key=lambda p: p.last_use)
+        self._touch(pair)
+        return pair
+
+    # ------------------------------------------------------------------
+    # Mutation from the module's phase handlers
+    # ------------------------------------------------------------------
+    def load_rab(self, buffer_id: int, upper_row: int) -> None:
+        """Pre-active: store an upper row address into one RAB."""
+        pair = self.pair(buffer_id)
+        pair.upper_row = upper_row
+        pair.rab_valid = True
+        # The old RDB contents no longer match the RAB tag.
+        pair.rdb_valid = False
+        pair.data = None
+        pair.partition = None
+        pair.row = None
+        self._touch(pair)
+
+    def load_rdb(self, buffer_id: int, partition: int, row: int,
+                 data: bytes) -> None:
+        """Activate: latch a fetched row into the paired RDB."""
+        if len(data) != self.row_bytes:
+            raise ValueError(
+                f"RDB load must be exactly {self.row_bytes} bytes, "
+                f"got {len(data)}"
+            )
+        pair = self.pair(buffer_id)
+        pair.partition = partition
+        pair.row = row
+        pair.data = data
+        pair.rdb_valid = True
+        self._touch(pair)
+
+    def invalidate_row(self, partition: int, row: int) -> None:
+        """Drop any RDB copy of ``row`` (a program made it stale)."""
+        for pair in self._pairs:
+            if (pair.rdb_valid and pair.partition == partition
+                    and pair.row == row):
+                pair.rdb_valid = False
+                pair.data = None
+
+    def invalidate_all(self) -> None:
+        """Boot-time state: nothing cached."""
+        for pair in self._pairs:
+            pair.rab_valid = False
+            pair.rdb_valid = False
+            pair.upper_row = None
+            pair.data = None
+            pair.partition = None
+            pair.row = None

@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel used by every DRAM-less subsystem.
+
+The engine is a small, from-scratch, simpy-style coroutine kernel:
+
+* :class:`~repro.sim.engine.Simulator` owns the event heap and simulated
+  clock (nanoseconds, floats).
+* :class:`~repro.sim.event.Event` / :class:`~repro.sim.event.Timeout` are
+  the primitive wait objects.
+* :class:`~repro.sim.process.Process` drives a generator; processes
+  ``yield`` events, timeouts, other processes, or condition combinators.
+* :class:`~repro.sim.resource.Resource`, :class:`~repro.sim.resource.Store`
+  and :class:`~repro.sim.resource.Channel` model contended hardware
+  (ports, buses, buffers).
+* :mod:`~repro.sim.stats` collects counters, time-weighted series and
+  category breakdowns used to regenerate the paper's figures.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.event import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resource import Channel, Resource, Store
+from repro.sim.stats import Breakdown, Counter, Histogram, TimeSeries
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Breakdown",
+    "Channel",
+    "Counter",
+    "Event",
+    "Histogram",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+]

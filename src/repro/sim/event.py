@@ -1,0 +1,162 @@
+"""Primitive event types for the simulation kernel.
+
+Events move through three states: *pending* (created, not scheduled),
+*triggered* (scheduled on the simulator heap with a value), and
+*processed* (callbacks ran).  Processes wait on events by ``yield``-ing
+them; the kernel wires the resumption up through the callback list.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.  Events can only be triggered on the simulator
+        that created them.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: list = []
+        self._value: object = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully in the past)."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries a failure (exception) value."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The payload the event was triggered with."""
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.sim._schedule(0.0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will see it raised."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.sim._schedule(0.0, self)
+        return self
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        state = (
+            "processed" if self._processed
+            else "triggered" if self._triggered
+            else "pending"
+        )
+        return f"<{label} ({state})>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None,
+                 name: str = "") -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name or f"Timeout({delay})")
+        self._value = value
+        self._triggered = True
+        sim._schedule(delay, self)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf combinators."""
+
+    def __init__(self, sim: "Simulator", events: typing.Sequence[Event],
+                 name: str = "") -> None:
+        super().__init__(sim, name)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("all events must belong to the same simulator")
+            if event.processed:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+                self._pending += 1
+        self._check()
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(typing.cast(BaseException, event.value))
+            return
+        self._pending -= 1
+        self._check()
+
+    def _collect(self) -> dict:
+        return {
+            event: event.value for event in self._events if event.triggered
+        }
+
+    def _check(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered successfully."""
+
+    def _check(self) -> None:
+        if not self._triggered and self._pending <= 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers when any child event triggers successfully."""
+
+    def _check(self) -> None:
+        if self._triggered:
+            return
+        if self._pending < len(self._events) or not self._events:
+            self.succeed(self._collect())

@@ -1,0 +1,105 @@
+"""Generator-driven simulation processes."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.event import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Process(Event):
+    """Wraps a generator so it can run inside the simulator.
+
+    A process is itself an :class:`~repro.sim.event.Event`: it triggers
+    with the generator's return value when the generator finishes, so
+    other processes can ``yield`` it to join on completion.
+
+    The generator may yield:
+
+    * an :class:`Event` (including :class:`Timeout`, another
+      :class:`Process`, or an :class:`AllOf`/:class:`AnyOf` condition) —
+      the process suspends until that event triggers and receives the
+      event's value at the resumption point;
+    * nothing else — yielding any other object raises ``TypeError``
+      inside the generator, per "errors should never pass silently".
+    """
+
+    def __init__(self, sim: "Simulator", generator: typing.Generator,
+                 name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: typing.Optional[Event] = None
+        # Kick off on the next kernel step so creation order does not
+        # matter within a single simulated instant.
+        bootstrap = Event(sim, name=f"{self.name}.bootstrap")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._triggered = True
+        sim._schedule(0.0, bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already terminated")
+        waiting = self._waiting_on
+        if waiting is not None and self._resume in waiting.callbacks:
+            waiting.callbacks.remove(self._resume)
+        self._waiting_on = None
+        self._step(Interrupt(cause), throw=True)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(typing.cast(BaseException, event.value), throw=True)
+
+    def _step(self, value: object, throw: bool) -> None:
+        previous = self.sim._active
+        self.sim._active = self
+        try:
+            if throw:
+                target = self._generator.throw(
+                    typing.cast(BaseException, value)
+                )
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active = previous
+        if not isinstance(target, Event):
+            message = TypeError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event instances"
+            )
+            self._step(message, throw=True)
+            return
+        if target.processed:
+            # Already in the past; resume immediately on the next step.
+            passthrough = Event(self.sim, name=f"{self.name}.passthrough")
+            passthrough._ok = target.ok
+            passthrough._value = target.value
+            passthrough._triggered = True
+            passthrough.callbacks.append(self._resume)
+            self.sim._schedule(0.0, passthrough)
+            self._waiting_on = passthrough
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target

@@ -1,0 +1,179 @@
+"""Contended-resource primitives: resources, stores, and channels."""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.event import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim, name=f"request({resource.name})")
+        self.resource = resource
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots (ports, lanes, cores).
+
+    Usage inside a process::
+
+        request = bus.request()
+        yield request
+        ...  # exclusive use of one slot
+        bus.release(request)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1,
+                 name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._users: set = set()
+        self._queue: typing.Deque[Request] = collections.deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently claimed."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot to the pool."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+            return
+        else:
+            raise ValueError(f"{request!r} does not hold {self.name}")
+        while self._queue and len(self._users) < self.capacity:
+            waiter = self._queue.popleft()
+            self._users.add(waiter)
+            waiter.succeed()
+
+    def use(self, duration: float) -> typing.Generator:
+        """Convenience process body: hold one slot for ``duration`` ns."""
+        req = self.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class Store:
+    """Unbounded-or-bounded FIFO of items passed between processes."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"),
+                 name: str = "store") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.items: typing.Deque = collections.deque()
+        self._getters: typing.Deque[Event] = collections.deque()
+        self._putters: typing.Deque[typing.Tuple[Event, object]] = (
+            collections.deque()
+        )
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: object) -> Event:
+        """Deposit ``item``; triggers when space is available."""
+        event = Event(self.sim, name=f"put({self.name})")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; triggers with that item."""
+        event = Event(self.sim, name=f"get({self.name})")
+        if self.items:
+            event.succeed(self.items.popleft())
+            if self._putters:
+                putter, item = self._putters.popleft()
+                self.items.append(item)
+                putter.succeed()
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Channel:
+    """A link with fixed latency and finite bandwidth (bus, PCIe lane).
+
+    A transfer of ``size`` bytes occupies the channel for
+    ``size / bandwidth`` ns and completes ``latency`` ns after its last
+    byte leaves — the standard store-and-forward pipe model.  Transfers
+    serialize; concurrent senders queue.
+    """
+
+    def __init__(self, sim: "Simulator", bandwidth_bytes_per_ns: float,
+                 latency_ns: float = 0.0, name: str = "channel") -> None:
+        if bandwidth_bytes_per_ns <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {bandwidth_bytes_per_ns}"
+            )
+        if latency_ns < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_ns}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth_bytes_per_ns
+        self.latency = latency_ns
+        self._lock = Resource(sim, capacity=1, name=f"{name}.lock")
+        self.bytes_transferred = 0.0
+        self.busy_time = 0.0
+
+    def occupancy_time(self, size_bytes: float) -> float:
+        """Time the channel is held by a ``size_bytes`` transfer."""
+        return size_bytes / self.bandwidth
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """End-to-end time for a transfer, including wire latency."""
+        return self.occupancy_time(size_bytes) + self.latency
+
+    def transfer(self, size_bytes: float) -> typing.Generator:
+        """Process body: move ``size_bytes`` across the channel."""
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        req = self._lock.request()
+        yield req
+        try:
+            hold = self.occupancy_time(size_bytes)
+            yield self.sim.timeout(hold)
+            self.busy_time += hold
+            self.bytes_transferred += size_bytes
+        finally:
+            self._lock.release(req)
+        yield self.sim.timeout(self.latency)

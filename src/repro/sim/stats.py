@@ -1,0 +1,209 @@
+"""Statistics containers shared by every experiment.
+
+The paper's figures need three shapes of data:
+
+* scalar totals (bandwidth, total energy) — :class:`Counter`;
+* per-category decompositions (Figures 16/17) — :class:`Breakdown`;
+* time series sampled over a run (Figures 18-21) — :class:`TimeSeries`;
+* latency distributions for the scheduler studies — :class:`Histogram`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import typing
+
+
+class Counter:
+    """A named accumulating scalar."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value = 0.0
+        self.events = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` and bump the event count."""
+        self.value += amount
+        self.events += 1
+
+    @property
+    def mean(self) -> float:
+        """Average amount per recorded event (0 when empty)."""
+        return self.value / self.events if self.events else 0.0
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value} over {self.events} events>"
+
+
+class Breakdown:
+    """Totals split across named categories (time or energy decomposition)."""
+
+    def __init__(self, name: str = "breakdown") -> None:
+        self.name = name
+        self._parts: typing.Dict[str, float] = {}
+
+    def add(self, category: str, amount: float) -> None:
+        """Add ``amount`` to ``category`` (created on first use)."""
+        self._parts[category] = self._parts.get(category, 0.0) + amount
+
+    def get(self, category: str) -> float:
+        """Total recorded for ``category`` (0 when absent)."""
+        return self._parts.get(category, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum across all categories."""
+        return sum(self._parts.values())
+
+    @property
+    def categories(self) -> typing.Tuple[str, ...]:
+        """Categories in insertion order."""
+        return tuple(self._parts)
+
+    def fractions(self) -> typing.Dict[str, float]:
+        """Category shares normalized to the total (empty dict if zero)."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {key: value / total for key, value in self._parts.items()}
+
+    def as_dict(self) -> typing.Dict[str, float]:
+        """Copy of the raw category totals."""
+        return dict(self._parts)
+
+    def merge(self, other: "Breakdown") -> None:
+        """Fold another breakdown's categories into this one."""
+        for category, amount in other._parts.items():
+            self.add(category, amount)
+
+    def scaled(self, factor: float) -> "Breakdown":
+        """New breakdown with every category multiplied by ``factor``."""
+        result = Breakdown(self.name)
+        for category, amount in self._parts.items():
+            result.add(category, amount * factor)
+        return result
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.3g}" for k, v in self._parts.items())
+        return f"<Breakdown {self.name}: {parts}>"
+
+
+class TimeSeries:
+    """(time, value) samples with time-weighted aggregation.
+
+    Used for the IPC and power plots: record a sample whenever the
+    quantity changes, then :meth:`resample` into fixed buckets matching
+    the paper's plotting granularity.
+    """
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self.times: typing.List[float] = []
+        self.values: typing.List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time went backwards: {time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def value_at(self, time: float) -> float:
+        """Step-function lookup: last recorded value at or before ``time``."""
+        index = bisect.bisect_right(self.times, time) - 1
+        if index < 0:
+            return 0.0
+        return self.values[index]
+
+    def time_weighted_mean(self, start: float, end: float) -> float:
+        """Mean of the step function over [start, end)."""
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        area = 0.0
+        cursor = start
+        level = self.value_at(start)
+        index = bisect.bisect_right(self.times, start)
+        while index < len(self.times) and self.times[index] < end:
+            area += level * (self.times[index] - cursor)
+            cursor = self.times[index]
+            level = self.values[index]
+            index += 1
+        area += level * (end - cursor)
+        return area / (end - start)
+
+    def integral(self, start: float, end: float) -> float:
+        """Area under the step function over [start, end)."""
+        if end <= start:
+            return 0.0
+        return self.time_weighted_mean(start, end) * (end - start)
+
+    def resample(self, start: float, end: float,
+                 buckets: int) -> typing.List[typing.Tuple[float, float]]:
+        """Bucketed (midpoint time, mean value) pairs over [start, end)."""
+        if buckets < 1:
+            raise ValueError(f"need at least one bucket, got {buckets}")
+        width = (end - start) / buckets
+        samples = []
+        for i in range(buckets):
+            lo = start + i * width
+            hi = lo + width
+            samples.append((lo + width / 2, self.time_weighted_mean(lo, hi)))
+        return samples
+
+
+class Histogram:
+    """Latency histogram with streaming mean/percentile support."""
+
+    def __init__(self, name: str = "histogram") -> None:
+        self.name = name
+        self.samples: typing.List[float] = []
+        self._sorted = True
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        if self.samples and value < self.samples[-1]:
+            self._sorted = False
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self.samples.sort()
+            self._sorted = True
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample (nan when empty)."""
+        return min(self.samples) if self.samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample (nan when empty)."""
+        return max(self.samples) if self.samples else math.nan
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile, ``fraction`` in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.samples:
+            raise ValueError("percentile of an empty histogram")
+        self._ensure_sorted()
+        rank = min(len(self.samples) - 1,
+                   max(0, math.ceil(fraction * len(self.samples)) - 1))
+        return self.samples[rank]

@@ -1,0 +1,163 @@
+"""A PRAM-based SSD (Optane-like), for Hetero-PRAM baselines.
+
+Same block interface as :class:`~repro.storage.ssd.EmulatedSsd`, but
+the medium is PRAM accessed in 32-byte chunks across a limited number
+of parallel units.  Reads are fast (0.1 us per chunk, Table I); bulk
+writes serialize page-sized requests into byte-granular programs —
+exactly why the paper finds Hetero-PRAM *worse* than flash SSDs for
+write-heavy workloads.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.energy import EnergyAccount
+from repro.pram.constants import (
+    PRAM_WRITE_OVERWRITE_NS,
+    PRAM_WRITE_PRISTINE_NS,
+)
+from repro.sim import Resource, Simulator
+from repro.storage.ssd import SSD_COMMAND_NS
+
+#: Medium chunk: PRAM bank-level parallel I/O width.
+CHUNK_BYTES = 32
+
+#: Table I: NVM read 0.1 us for PRAM-based devices.
+PRAM_SSD_READ_NS = 100.0
+
+#: Concurrent chunk operations the device's internal channels sustain.
+PRAM_SSD_PARALLELISM = 16
+
+
+class PramSsd:
+    """Block-interface SSD over a PRAM medium."""
+
+    def __init__(self, sim: Simulator,
+                 parallelism: int = PRAM_SSD_PARALLELISM,
+                 energy: typing.Optional[EnergyAccount] = None,
+                 name: str = "pram-ssd") -> None:
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.sim = sim
+        self.name = name
+        self.units = Resource(sim, capacity=parallelism, name=f"{name}.units")
+        self.queue = Resource(sim, capacity=8, name=f"{name}.queue")
+        self.energy = energy
+        self._storage: typing.Dict[int, bytes] = {}  # chunk id -> 32 B
+        self._written: typing.Set[int] = set()
+        self.chunks_read = 0
+        self.chunks_written = 0
+        self.commands = 0
+
+    # ------------------------------------------------------------------
+    # Block interface (process bodies)
+    # ------------------------------------------------------------------
+    def read(self, address: int, size: int) -> typing.Generator:
+        """Read ``size`` bytes; chunk reads fan out over the units."""
+        yield from self._command_overhead()
+        chunks = list(self._chunks_of(address, size))
+        pending = [self.sim.process(self._read_chunk(c)) for c, _, _ in chunks]
+        results = yield self.sim.all_of(pending)
+        out = bytearray()
+        for (chunk, offset, span), proc in zip(chunks, pending):
+            out += results[proc][offset:offset + span]
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> typing.Generator:
+        """Write ``data``; each 32-byte chunk is a separate program."""
+        yield from self._command_overhead()
+        chunks = list(self._chunks_of(address, len(data)))
+        cursor = 0
+        pending = []
+        for chunk, offset, span in chunks:
+            payload = data[cursor:cursor + span]
+            pending.append(self.sim.process(
+                self._write_chunk(chunk, offset, payload)))
+            cursor += span
+        yield self.sim.all_of(pending)
+
+    def flush(self) -> typing.Generator:
+        """No internal volatile cache: flush is instantaneous."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Functional access
+    # ------------------------------------------------------------------
+    def preload(self, address: int, data: bytes) -> None:
+        """Zero-time data placement."""
+        cursor = 0
+        for chunk, offset, span in self._chunks_of(address, len(data)):
+            existing = bytearray(self._storage.get(chunk, bytes(CHUNK_BYTES)))
+            existing[offset:offset + span] = data[cursor:cursor + span]
+            self._storage[chunk] = bytes(existing)
+            self._written.add(chunk)
+            cursor += span
+
+    def inspect(self, address: int, size: int) -> bytes:
+        """Zero-time read-back."""
+        out = bytearray()
+        for chunk, offset, span in self._chunks_of(address, size):
+            data = self._storage.get(chunk, bytes(CHUNK_BYTES))
+            out += data[offset:offset + span]
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _chunks_of(address: int, size: int) -> typing.Iterator[
+            typing.Tuple[int, int, int]]:
+        if address < 0 or size < 0:
+            raise ValueError(f"bad range: address={address} size={size}")
+        cursor = address
+        remaining = size
+        while remaining > 0:
+            chunk = cursor // CHUNK_BYTES
+            offset = cursor % CHUNK_BYTES
+            span = min(CHUNK_BYTES - offset, remaining)
+            yield chunk, offset, span
+            cursor += span
+            remaining -= span
+
+    def _command_overhead(self) -> typing.Generator:
+        grant = self.queue.request()
+        yield grant
+        try:
+            yield self.sim.timeout(SSD_COMMAND_NS)
+            self.commands += 1
+            if self.energy is not None:
+                self.energy.charge_power(
+                    "storage", self.energy.model.ssd_controller_w,
+                    SSD_COMMAND_NS)
+        finally:
+            self.queue.release(grant)
+
+    def _read_chunk(self, chunk: int) -> typing.Generator:
+        yield self.sim.process(self.units.use(PRAM_SSD_READ_NS))
+        self.chunks_read += 1
+        if self.energy is not None:
+            self.energy.charge_bytes(
+                "storage", self.energy.model.pram_read_pj_per_byte,
+                CHUNK_BYTES)
+        return self._storage.get(chunk, bytes(CHUNK_BYTES))
+
+    def _write_chunk(self, chunk: int, offset: int,
+                     payload: bytes) -> typing.Generator:
+        # The SSD's translation layer is log-structured: writes remap
+        # to pre-RESET locations, so the SET-only latency applies; the
+        # RESET pass happens in background wear management.  (Kept as a
+        # parameter path: pass through PRAM_WRITE_OVERWRITE_NS in
+        # studies of in-place devices.)
+        duration = PRAM_WRITE_PRISTINE_NS
+        yield self.sim.process(self.units.use(duration))
+        existing = bytearray(self._storage.get(chunk, bytes(CHUNK_BYTES)))
+        existing[offset:offset + len(payload)] = payload
+        self._storage[chunk] = bytes(existing)
+        self._written.add(chunk)
+        self.chunks_written += 1
+        if self.energy is not None:
+            self.energy.charge_bytes(
+                "storage", self.energy.model.pram_set_pj_per_byte,
+                len(payload))

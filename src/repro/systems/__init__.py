@@ -1,0 +1,47 @@
+"""System configurations: the ten accelerated systems of Table I.
+
+Every system couples the same accelerator model with a different
+memory/storage path (a :class:`~repro.accel.mcu.MemoryBackend`):
+
+==================  ================================================
+system              data path behind the MCU
+==================  ================================================
+Ideal               unlimited accelerator DRAM, data resident
+Hetero              accel DRAM slice + flash SSD via the host stack
+Heterodirect        accel DRAM slice + flash SSD via P2P DMA
+Hetero-PRAM         accel DRAM slice + PRAM SSD via the host stack
+Heterodirect-PRAM   accel DRAM slice + PRAM SSD via P2P DMA
+Integrated-SLC      SLC flash + DRAM buffer inside the accelerator
+Integrated-MLC      MLC flash + DRAM buffer inside the accelerator
+Integrated-TLC      TLC flash + DRAM buffer inside the accelerator
+NOR-intf            9x nm NOR-interface PRAM, byte access, no DRAM
+PAGE-buffer         3x nm PRAM behind a page interface + DRAM buffer
+DRAM-less           hardware-automated PRAM subsystem (the paper)
+DRAM-less (fw)      same PRAM subsystem behind traditional firmware
+==================  ================================================
+"""
+
+from repro.systems.base import AcceleratedSystem, ExecutionResult, SystemConfig
+from repro.systems.backends import (
+    DramBackend,
+    HostSsdBackend,
+    NorBackend,
+    PageBufferBackend,
+    PramBackend,
+    SsdAdapterBackend,
+)
+from repro.systems.registry import SYSTEM_NAMES, build_system
+
+__all__ = [
+    "AcceleratedSystem",
+    "DramBackend",
+    "ExecutionResult",
+    "HostSsdBackend",
+    "NorBackend",
+    "PageBufferBackend",
+    "PramBackend",
+    "SYSTEM_NAMES",
+    "SsdAdapterBackend",
+    "SystemConfig",
+    "build_system",
+]

@@ -1,0 +1,114 @@
+"""Heterogeneous systems: accelerator + external SSD (Figure 5a).
+
+Four variants per Table I: flash SSD vs PRAM SSD, crossed with
+host-stack mediation vs peer-to-peer DMA, plus the Ideal system used
+by Figure 1's motivation study.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.energy import EnergyAccount
+from repro.host import HostCpu, PcieLink, PeerToPeerDma, StorageSoftwareStack
+from repro.sim import Simulator
+from repro.storage import EmulatedSsd, FlashCellType, PramSsd
+from repro.systems.backends import BLOCK_BYTES, DramBackend, HostSsdBackend
+from repro.systems.base import AcceleratedSystem, SystemConfig
+from repro.workloads.trace import TraceBundle
+
+
+class IdealSystem(AcceleratedSystem):
+    """Unlimited accelerator memory, all data resident (Figure 1)."""
+
+    name = "Ideal"
+    has_internal_dram = True
+
+    def _build(self, sim: Simulator, energy: EnergyAccount,
+               bundle: TraceBundle) -> DramBackend:
+        return DramBackend(sim, energy)
+
+
+class HeteroSystem(AcceleratedSystem):
+    """Accelerator + external SSD, with a capacity-limited DRAM slice.
+
+    ``pram_ssd`` selects the Optane-like device; ``p2p`` selects the
+    zero-copy DMA path (the "direct" variants).
+    """
+
+    heterogeneous = True
+    has_internal_dram = True
+
+    def __init__(self, config: SystemConfig = SystemConfig(),
+                 pram_ssd: bool = False, p2p: bool = False) -> None:
+        super().__init__(config)
+        self.pram_ssd = pram_ssd
+        self.p2p = p2p
+        self.name = _hetero_name(pram_ssd, p2p)
+        self.cpu: typing.Optional[HostCpu] = None
+
+    def _build(self, sim: Simulator, energy: EnergyAccount,
+               bundle: TraceBundle) -> HostSsdBackend:
+        self.cpu = HostCpu(sim, energy=energy)
+        ssd_link = PcieLink(sim, energy=energy, name="pcie.ssd")
+        accel_link = PcieLink(sim, energy=energy, name="pcie.accel")
+        if self.pram_ssd:
+            ssd = PramSsd(sim, energy=energy)
+        else:
+            # The flash reference device is an MLC NVMe SSD [16].
+            ssd = EmulatedSsd(sim, cell_type=FlashCellType.MLC,
+                              energy=energy)
+        if self.p2p:
+            mover = PeerToPeerDma(sim, self.cpu, ssd, ssd_link)
+        else:
+            mover = StorageSoftwareStack(sim, self.cpu, ssd, ssd_link,
+                                         accel_link)
+        footprint = bundle.input_bytes + bundle.output_bytes
+        capacity = max(
+            BLOCK_BYTES,
+            int(footprint * self.config.dram_fraction))
+        return HostSsdBackend(sim, energy, mover, capacity_bytes=capacity)
+
+    def _prepare(self, sim: Simulator, backend: HostSsdBackend,
+                 bundle: TraceBundle) -> typing.Generator:
+        """Stage as much input as the DRAM slice holds (Figure 5a (a))."""
+        address, size = bundle.input_region
+        yield from backend.stage_input(address, size)
+
+    # Durability note: no final media flush is modelled.  The
+    # reference flash device (an Intel 750-class NVMe SSD) has
+    # power-loss-protected write caching, so writes acknowledged by
+    # the device's DRAM are already durable — equivalent to
+    # DRAM-less's persistent-on-program PRAM.
+
+
+class IdealHeteroSystem(HeteroSystem):
+    """Figure 1's idealized environment.
+
+    The same accelerator+SSD hardware as Hetero, but with "enough
+    memory space to accommodate all data within the accelerator": data
+    stages once (not per kernel round), every round runs out of the
+    resident DRAM, and outputs write back once at the end.
+    """
+
+    host_coordinated = False
+
+    def __init__(self, config: SystemConfig = SystemConfig()) -> None:
+        super().__init__(config)
+        self.name = "Ideal-resident"
+
+    def _build(self, sim: Simulator, energy: EnergyAccount,
+               bundle: TraceBundle) -> HostSsdBackend:
+        backend = super()._build(sim, energy, bundle)
+        # Enough memory for the whole footprint regardless of the
+        # configured fraction.
+        footprint = bundle.input_bytes + bundle.output_bytes
+        backend.dram.capacity_blocks = max(
+            backend.dram.capacity_blocks,
+            footprint // BLOCK_BYTES + 1)
+        return backend
+
+
+def _hetero_name(pram_ssd: bool, p2p: bool) -> str:
+    base = "Heterodirect" if p2p else "Hetero"
+    return f"{base}-PRAM" if pram_ssd else base

@@ -1,0 +1,46 @@
+"""Aggressive integrations: flash SSDs inside the accelerator.
+
+Integrated-SLC/MLC/TLC put the flash medium (plus its 1 GB DRAM
+buffer) behind the MCU directly — no PCIe hop, no host stack — but
+every access still moves 16 KB pages, and sub-page output writes pay
+read-modify-write (the active-SSD pollution effect of Section VI-C).
+"""
+
+from __future__ import annotations
+
+from repro.energy import EnergyAccount
+from repro.sim import Simulator
+from repro.storage import EmulatedSsd, FlashCellType
+from repro.systems.backends import SsdAdapterBackend
+from repro.systems.base import AcceleratedSystem, SystemConfig
+from repro.workloads.trace import TraceBundle
+
+
+class IntegratedSystem(AcceleratedSystem):
+    """Flash + DRAM buffer mounted inside the accelerator."""
+
+    heterogeneous = False
+    has_internal_dram = True
+
+    def __init__(self, config: SystemConfig = SystemConfig(),
+                 cell_type: FlashCellType = FlashCellType.SLC) -> None:
+        super().__init__(config)
+        self.cell_type = cell_type
+        self.name = f"Integrated-{cell_type.label.upper()}"
+
+    def _build(self, sim: Simulator, energy: EnergyAccount,
+               bundle: TraceBundle) -> SsdAdapterBackend:
+        ssd = EmulatedSsd(sim, cell_type=self.cell_type, energy=energy,
+                          name=f"integrated.{self.cell_type.label}")
+        return SsdAdapterBackend(sim, energy, ssd)
+
+    def _writeback(self, sim: Simulator, backend: SsdAdapterBackend,
+                   bundle: TraceBundle):
+        """Per-round: flush outputs, then tear the buffer down.
+
+        Conventional kernel management re-prepares device data for
+        every kernel execution, so the DRAM buffer does not persist
+        across rounds (the repeated whole-page fetches of Figure 18).
+        """
+        yield from backend.flush()
+        backend.invalidate_buffer()

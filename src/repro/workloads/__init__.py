@@ -1,0 +1,33 @@
+"""Polybench workload models (Table III, Section VI).
+
+The paper ports the Polybench suite to its platform, splits each
+workload into per-PE compute kernels, and embeds DSP intrinsics.  We
+reproduce the suite at the *characterization* level: each workload is a
+:class:`~repro.workloads.characteristics.WorkloadSpec` (footprint,
+read/write mix, compute intensity, access regularity), from which
+:mod:`~repro.workloads.trace` generates deterministic per-agent
+operation streams.
+"""
+
+from repro.workloads.characteristics import (
+    Category,
+    WorkloadSpec,
+)
+from repro.workloads.polybench import (
+    POLYBENCH,
+    all_workloads,
+    workload,
+    workloads_in,
+)
+from repro.workloads.trace import TraceBundle, generate_traces
+
+__all__ = [
+    "Category",
+    "POLYBENCH",
+    "TraceBundle",
+    "WorkloadSpec",
+    "all_workloads",
+    "generate_traces",
+    "workload",
+    "workloads_in",
+]

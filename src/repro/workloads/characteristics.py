@@ -1,0 +1,79 @@
+"""Workload characterization records (Table III).
+
+Table III classifies each Polybench workload by write intensiveness
+(output size per input size) and data volume.  The prose adds a second
+axis we encode as :class:`Category`:
+
+* *read-intensive*: durbin, dynpro, gemver, trisolv;
+* *write-intensive*: chol, doitg, lu, seidel;
+* *compute-intensive*: adi, fdtdap, floyd;
+* *memory-intensive* (large read footprints): jaco1D, jaco2D, regd,
+  trmm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Category(enum.Enum):
+    """Workload behaviour classes used throughout Section VI."""
+
+    READ_INTENSIVE = "read-intensive"
+    WRITE_INTENSIVE = "write-intensive"
+    COMPUTE_INTENSIVE = "compute-intensive"
+    MEMORY_INTENSIVE = "memory-intensive"
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload's knobs for the trace generator.
+
+    ``input_kb``/``output_kb`` are the *reference* footprints; runs
+    scale them with a factor so experiments choose their own volume
+    (the paper inflated the original Polybench sizes by >10x; we go
+    the other way for simulation tractability and note it in
+    EXPERIMENTS.md).
+    """
+
+    name: str
+    full_name: str
+    category: Category
+    input_kb: int
+    output_kb: int
+    compute_ops_per_byte: float
+    reuse_factor: float = 0.0     # probability a block is re-touched
+    sequential: bool = True       # False: shuffled (irregular) order
+    dsp_intrinsics: bool = True   # Section VI embeds intrinsics
+    #: How many compute-kernel sweeps the workload makes over its data.
+    #: Conventional systems move data between host/storage and the
+    #: accelerator *per kernel execution*; DRAM-less schedules all
+    #: rounds internally (Section IV).
+    kernel_rounds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.input_kb < 1 or self.output_kb < 0:
+            raise ValueError(f"{self.name}: bad footprint")
+        if self.compute_ops_per_byte <= 0:
+            raise ValueError(f"{self.name}: compute intensity must be > 0")
+        if not 0.0 <= self.reuse_factor < 1.0:
+            raise ValueError(f"{self.name}: reuse must be in [0, 1)")
+        if self.kernel_rounds < 1:
+            raise ValueError(f"{self.name}: need >= 1 kernel round")
+
+    @property
+    def write_ratio(self) -> float:
+        """Output bytes as a fraction of all data moved (Figure 13)."""
+        total = self.input_kb + self.output_kb
+        return self.output_kb / total
+
+    @property
+    def total_kb(self) -> int:
+        """Reference data volume."""
+        return self.input_kb + self.output_kb
+
+    @property
+    def is_write_heavy(self) -> bool:
+        """Above the one-third write-ratio line the paper treats as heavy."""
+        return self.write_ratio >= 1.0 / 3.0

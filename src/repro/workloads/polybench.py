@@ -1,0 +1,109 @@
+"""The ported Polybench suite (the 15 workloads of Figures 13-21).
+
+Footprints are reference values in KB; runs scale them.  Compute
+intensity (ops/byte) separates the compute-intensive group from the
+streaming ones; ``sequential=False`` marks irregular access patterns
+(triangular/recurrence kernels), which benefit most from the
+multi-resource aware interleaving.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.workloads.characteristics import Category, WorkloadSpec
+
+_C = Category
+
+POLYBENCH: typing.Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in [
+        # -- read-intensive (durbin, dynpro, gemver, trisolv) ----------
+        WorkloadSpec("durbin", "Toeplitz system solver (Durbin)",
+                     _C.READ_INTENSIVE, input_kb=256, output_kb=16,
+                     compute_ops_per_byte=2.0, reuse_factor=0.30,
+                     sequential=False, kernel_rounds=2),
+        WorkloadSpec("dynpro", "2-D dynamic programming",
+                     _C.READ_INTENSIVE, input_kb=224, output_kb=16,
+                     compute_ops_per_byte=2.5, reuse_factor=0.35,
+                     sequential=False,
+                     kernel_rounds=3),
+        WorkloadSpec("gemver", "Vector mult. and matrix addition",
+                     _C.READ_INTENSIVE, input_kb=288, output_kb=32,
+                     compute_ops_per_byte=2.0, reuse_factor=0.25,
+                     kernel_rounds=2),
+        WorkloadSpec("trisolv", "Triangular solver",
+                     _C.READ_INTENSIVE, input_kb=192, output_kb=16,
+                     compute_ops_per_byte=1.5, reuse_factor=0.20,
+                     sequential=False,
+                     kernel_rounds=2),
+        # -- write-intensive (chol, doitg, lu, seidel) ------------------
+        WorkloadSpec("chol", "Cholesky decomposition",
+                     _C.WRITE_INTENSIVE, input_kb=160, output_kb=160,
+                     compute_ops_per_byte=4.0, reuse_factor=0.25,
+                     sequential=False,
+                     kernel_rounds=2),
+        WorkloadSpec("doitg", "Multi-resolution analysis (doitgen)",
+                     _C.WRITE_INTENSIVE, input_kb=128, output_kb=192,
+                     compute_ops_per_byte=3.0, reuse_factor=0.20,
+                     kernel_rounds=2),
+        WorkloadSpec("lu", "LU decomposition",
+                     _C.WRITE_INTENSIVE, input_kb=192, output_kb=160,
+                     compute_ops_per_byte=5.0, reuse_factor=0.30,
+                     sequential=False,
+                     kernel_rounds=3),
+        WorkloadSpec("seidel", "2-D Seidel stencil",
+                     _C.WRITE_INTENSIVE, input_kb=192, output_kb=176,
+                     compute_ops_per_byte=3.5, reuse_factor=0.35,
+                     kernel_rounds=4),
+        # -- compute-intensive (adi, fdtdap, floyd) --------------------
+        WorkloadSpec("adi", "Alternating-direction implicit solver",
+                     _C.COMPUTE_INTENSIVE, input_kb=160, output_kb=96,
+                     compute_ops_per_byte=14.0, reuse_factor=0.40,
+                     kernel_rounds=4),
+        WorkloadSpec("fdtdap", "FDTD with anisotropic material (APML)",
+                     _C.COMPUTE_INTENSIVE, input_kb=192, output_kb=64,
+                     compute_ops_per_byte=16.0, reuse_factor=0.40,
+                     kernel_rounds=4),
+        WorkloadSpec("floyd", "Floyd-Warshall shortest paths",
+                     _C.COMPUTE_INTENSIVE, input_kb=160, output_kb=96,
+                     compute_ops_per_byte=12.0, reuse_factor=0.45,
+                     kernel_rounds=3),
+        # -- memory-intensive (jaco1D, jaco2D, regd, trmm) -------------
+        WorkloadSpec("jaco1D", "1-D Jacobi stencil",
+                     _C.MEMORY_INTENSIVE, input_kb=384, output_kb=128,
+                     compute_ops_per_byte=1.0, reuse_factor=0.10,
+                     kernel_rounds=4),
+        WorkloadSpec("jaco2D", "2-D Jacobi stencil",
+                     _C.MEMORY_INTENSIVE, input_kb=416, output_kb=128,
+                     compute_ops_per_byte=1.2, reuse_factor=0.15,
+                     kernel_rounds=4),
+        WorkloadSpec("regd", "Regularity detection (reg_detect)",
+                     _C.MEMORY_INTENSIVE, input_kb=352, output_kb=96,
+                     compute_ops_per_byte=1.0, reuse_factor=0.10,
+                     sequential=False, kernel_rounds=3),
+        WorkloadSpec("trmm", "Triangular matrix multiply",
+                     _C.MEMORY_INTENSIVE, input_kb=320, output_kb=96,
+                     compute_ops_per_byte=1.5, reuse_factor=0.15,
+                     sequential=False,
+                     kernel_rounds=2),
+    ]
+}
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Look up one workload by short name."""
+    try:
+        return POLYBENCH[name]
+    except KeyError:
+        known = ", ".join(sorted(POLYBENCH))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def all_workloads() -> typing.List[WorkloadSpec]:
+    """Every workload, in the suite's canonical (alphabetical) order."""
+    return [POLYBENCH[name] for name in sorted(POLYBENCH)]
+
+
+def workloads_in(category: Category) -> typing.List[WorkloadSpec]:
+    """Workloads of one behaviour class."""
+    return [spec for spec in all_workloads() if spec.category is category]

@@ -1,0 +1,58 @@
+"""Shared fixtures: a scriptable in-memory backend."""
+
+import typing
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class FakeBackend:
+    """In-memory MemoryBackend with configurable latencies."""
+
+    def __init__(self, sim: Simulator, read_ns: float = 100.0,
+                 write_ns: float = 100.0) -> None:
+        self.sim = sim
+        self.read_ns = read_ns
+        self.write_ns = write_ns
+        self.data: typing.Dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+        self.hints: typing.List[typing.Tuple[int, int]] = []
+        self.flushes = 0
+
+    def read_block(self, address: int, size: int):
+        yield self.sim.timeout(self.read_ns)
+        self.reads += 1
+        return self.inspect(address, size)
+
+    def write_block(self, address: int, data: bytes):
+        yield self.sim.timeout(self.write_ns)
+        self.writes += 1
+        self.preload(address, data)
+
+    def flush(self):
+        self.flushes += 1
+        return
+        yield  # pragma: no cover
+
+    def announce_writes(self, address: int, size: int) -> None:
+        self.hints.append((address, size))
+
+    def preload(self, address: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.data[address + i] = bytes([byte])
+
+    def inspect(self, address: int, size: int) -> bytes:
+        return b"".join(self.data.get(address + i, b"\x00")
+                        for i in range(size))
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def backend(sim):
+    return FakeBackend(sim)

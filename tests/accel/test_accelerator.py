@@ -1,0 +1,160 @@
+"""Full-accelerator assembly and server-protocol tests."""
+
+import pytest
+
+from repro.accel import (
+    Accelerator,
+    AcceleratorConfig,
+    ComputeOp,
+    LoadOp,
+    StoreOp,
+    pack_data,
+)
+from repro.accel.kernel import KernelSegment
+from repro.energy import EnergyModel
+from repro.accel.pe import STATE_ACTIVE, STATE_IDLE, STATE_SLEEP
+
+
+def run_execute(sim, accel, traces, **kwargs):
+    proc = sim.process(accel.execute(traces, **kwargs))
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+def simple_trace(base=0, blocks=4):
+    ops = []
+    for i in range(blocks):
+        ops.append(LoadOp(base + i * 512, 32))
+        ops.append(ComputeOp(256, dsp_intrinsics=True))
+        ops.append(StoreOp(base + 1_000_000 + i * 512, 512))
+    return ops
+
+
+class TestAssembly:
+    def test_default_shape(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        assert len(accel.pes) == 8
+        assert accel.agent_count == 7
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(pe_count=1)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(clock_ghz=0)
+
+
+class TestExecution:
+    def test_execute_returns_stats(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        stats = run_execute(sim, accel, [simple_trace(i * 100_000)
+                                         for i in range(3)])
+        assert stats.elapsed_ns > 0
+        assert stats.instructions > 0
+        assert stats.l2_misses >= 3 * 4
+
+    def test_traces_run_in_parallel_across_agents(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        one = run_execute(sim, accel, [simple_trace()])
+        from repro.sim import Simulator
+        sim2 = Simulator()
+        backend2 = type(backend)(sim2)
+        accel2 = Accelerator(sim2, backend2)
+        seven = run_execute(
+            sim2, accel2,
+            [simple_trace(i * 100_000) for i in range(7)])
+        # 7x the work in well under 7x the time.
+        assert seven.elapsed_ns < one.elapsed_ns * 3
+
+    def test_too_many_traces_rejected(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        proc = sim.process(accel.execute([[] for _ in range(8)]))
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, ValueError)
+
+    def test_output_regions_become_backend_hints(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        run_execute(sim, accel, [simple_trace()],
+                    output_regions=[(1_000_000, 2048)])
+        assert (1_000_000, 2048) in backend.hints
+
+    def test_backend_flushed_at_end(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        run_execute(sim, accel, [simple_trace()])
+        assert backend.flushes == 1
+
+    def test_kernel_image_written_to_memory(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        run_execute(sim, accel, [simple_trace()])
+        # The default image is 4096 zero bytes at address 0, written
+        # through the MCU in 512-byte chunks.
+        assert accel.server.images_loaded == 1
+        assert backend.writes >= 8
+
+
+class TestStatsSeries:
+    def test_aggregate_ipc_sums_agents(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        stats = run_execute(
+            sim, accel,
+            [[ComputeOp(12_000, dsp_intrinsics=True)] for _ in range(2)])
+        # Two agents at 12 IPC each while both compute.
+        peak = max(stats.aggregate_ipc.values)
+        assert peak == pytest.approx(24.0)
+
+    def test_mean_aggregate_ipc(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        stats = run_execute(sim, accel, [simple_trace()])
+        assert 0 < stats.mean_aggregate_ipc < 12 * 7
+
+    def test_residency_sums_to_elapsed(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        stats = run_execute(sim, accel, [simple_trace()])
+        for residency in stats.pe_residency:
+            assert sum(residency.values()) == pytest.approx(
+                stats.elapsed_ns, rel=1e-6)
+
+    def test_power_series_tracks_states(self, sim, backend):
+        model = EnergyModel()
+        accel = Accelerator(sim, backend)
+        run_execute(sim, accel,
+                    [[ComputeOp(10_000)] for _ in range(7)])
+        power = accel.power_series(model)
+        # All 8 PEs asleep is the floor; 7 active + server is the peak.
+        floor = 8 * model.pe_sleep_w
+        assert min(power.values) >= floor - 1e-9
+        assert max(power.values) >= 7 * model.pe_active_w * 0.9
+
+
+class TestServerProtocol:
+    def test_launch_wakes_agent_through_psc(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        image_bytes = pack_data([KernelSegment("k", 0, 0, bytes(512))])
+
+        def driver():
+            image = yield from accel.server.load_image(image_bytes)
+            yield from accel.server.launch(0, image, "k",
+                                           [ComputeOp(100)])
+
+        proc = sim.process(driver())
+        sim.run()
+        assert proc.ok, proc.value
+        assert accel.server.kernels_launched == 1
+        # The agent saw sleep, then idle/active.
+        agent = accel.agents[0]
+        assert STATE_ACTIVE in agent.activity.values
+
+    def test_launch_bad_agent_rejected(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        image_bytes = pack_data([KernelSegment("k", 0, 0, bytes(512))])
+
+        def driver():
+            image = yield from accel.server.load_image(image_bytes)
+            yield from accel.server.launch(99, image, "k", [])
+
+        proc = sim.process(driver())
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, ValueError)

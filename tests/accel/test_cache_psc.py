@@ -1,0 +1,122 @@
+"""BlockCache and PowerSleepController tests."""
+
+import pytest
+
+from repro.accel import BlockCache, PeState, PowerSleepController
+from repro.sim import Simulator
+
+
+class TestBlockCache:
+    def test_miss_then_hit(self):
+        cache = BlockCache(2048, 512)
+        assert not cache.lookup(0)
+        cache.insert(0)
+        assert cache.lookup(0)
+        assert cache.hit_rate == 0.5
+
+    def test_block_of(self):
+        cache = BlockCache(2048, 512)
+        assert cache.block_of(0) == 0
+        assert cache.block_of(511) == 0
+        assert cache.block_of(512) == 1
+        with pytest.raises(ValueError):
+            cache.block_of(-1)
+
+    def test_lru_eviction(self):
+        cache = BlockCache(1024, 512)  # 2 blocks
+        cache.insert(1)
+        cache.insert(2)
+        cache.lookup(1)
+        evicted = cache.insert(3)
+        assert evicted == (2, False)
+
+    def test_dirty_eviction_flag(self):
+        cache = BlockCache(512, 512)  # 1 block
+        cache.insert(1, dirty=True)
+        assert cache.insert(2) == (1, True)
+
+    def test_invalidate(self):
+        cache = BlockCache(1024, 512)
+        cache.insert(7)
+        cache.invalidate(7)
+        assert 7 not in cache
+
+    def test_clear(self):
+        cache = BlockCache(1024, 512)
+        cache.insert(1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BlockCache(100, 512)
+
+    def test_hit_rate_empty(self):
+        assert BlockCache(512, 512).hit_rate == 0.0
+
+
+class TestPowerSleepController:
+    def test_initial_state_is_sleep(self):
+        psc = PowerSleepController(Simulator(), 4)
+        assert psc.state(0) is PeState.SLEEP
+
+    def test_wake_transitions_to_idle(self):
+        sim = Simulator()
+        psc = PowerSleepController(sim, 2)
+
+        def driver():
+            yield from psc.wake(0)
+
+        sim.process(driver())
+        sim.run()
+        assert psc.state(0) is PeState.IDLE
+        assert sim.now == 2_000.0
+
+    def test_wake_requires_sleep(self):
+        sim = Simulator()
+        psc = PowerSleepController(sim, 2)
+        psc.set_state(0, PeState.ACTIVE)
+
+        def driver():
+            with pytest.raises(ValueError):
+                yield from psc.wake(0)
+
+        sim.process(driver())
+        sim.run()
+
+    def test_sleep_then_wake_roundtrip(self):
+        sim = Simulator()
+        psc = PowerSleepController(sim, 2)
+
+        def driver():
+            yield from psc.wake(1)
+            yield from psc.sleep(1)
+            yield from psc.wake(1)
+
+        sim.process(driver())
+        sim.run()
+        assert psc.state(1) is PeState.IDLE
+        assert psc.transitions == 3
+
+    def test_residency_accumulates(self):
+        sim = Simulator()
+        psc = PowerSleepController(sim, 1)
+
+        def driver():
+            yield from psc.wake(0)        # sleeps 0..2000
+            psc.set_state(0, PeState.ACTIVE)
+            yield sim.timeout(3_000.0)
+            psc.set_state(0, PeState.IDLE)
+
+        sim.process(driver())
+        sim.run()
+        residency = psc.residency(0)
+        assert residency[PeState.SLEEP] == pytest.approx(2_000.0)
+        assert residency[PeState.ACTIVE] == pytest.approx(3_000.0)
+
+    def test_pe_bounds_checked(self):
+        psc = PowerSleepController(Simulator(), 2)
+        with pytest.raises(ValueError):
+            psc.state(2)
+        with pytest.raises(ValueError):
+            PowerSleepController(Simulator(), 0)

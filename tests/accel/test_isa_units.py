@@ -1,0 +1,68 @@
+"""ISA record and functional-unit tests."""
+
+import pytest
+
+from repro.accel import ComputeOp, FunctionalUnitSet, LoadOp, StoreOp
+
+
+class TestIsaValidation:
+    def test_load_fields(self):
+        op = LoadOp(address=0x100, size=512)
+        assert op.address == 0x100
+        assert op.size == 512
+
+    def test_load_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            LoadOp(-1, 32)
+        with pytest.raises(ValueError):
+            LoadOp(0, 0)
+
+    def test_store_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            StoreOp(-1, 32)
+        with pytest.raises(ValueError):
+            StoreOp(0, 0)
+
+    def test_compute_rejects_zero_ops(self):
+        with pytest.raises(ValueError):
+            ComputeOp(0)
+
+    def test_ops_are_immutable(self):
+        op = ComputeOp(100)
+        with pytest.raises(Exception):
+            op.scalar_ops = 5
+
+
+class TestFunctionalUnits:
+    def test_plain_risc_issues_on_l_and_s(self):
+        units = FunctionalUnitSet()
+        assert units.ops_per_cycle(dsp_intrinsics=False) == 4
+
+    def test_dsp_intrinsics_light_up_m_units(self):
+        units = FunctionalUnitSet()
+        # 2 .L + 2 .S + 2 .M * 4-way MAC
+        assert units.ops_per_cycle(dsp_intrinsics=True) == 12
+
+    def test_cycles_round_up(self):
+        units = FunctionalUnitSet()
+        assert units.cycles_for(5, dsp_intrinsics=False) == 2
+        assert units.cycles_for(4, dsp_intrinsics=False) == 1
+
+    def test_burst_time_at_1ghz(self):
+        units = FunctionalUnitSet(clock_ghz=1.0)
+        assert units.burst_time_ns(8, dsp_intrinsics=False) == 2.0
+
+    def test_burst_time_scales_with_clock(self):
+        fast = FunctionalUnitSet(clock_ghz=2.0)
+        assert fast.burst_time_ns(8, dsp_intrinsics=False) == 1.0
+
+    def test_ops_retired_counter(self):
+        units = FunctionalUnitSet()
+        units.burst_time_ns(100, dsp_intrinsics=True)
+        assert units.ops_retired == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitSet(clock_ghz=0)
+        with pytest.raises(ValueError):
+            FunctionalUnitSet().cycles_for(0, False)

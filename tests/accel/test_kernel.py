@@ -1,0 +1,85 @@
+"""Kernel image pack/unpack (programming model) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import pack_data, unpack_data
+from repro.accel.kernel import KernelSegment
+
+
+def make_segments():
+    return [
+        KernelSegment("app0", load_address=0x1000, entry_offset=0,
+                      payload=b"\x01" * 256),
+        KernelSegment("app1", load_address=0x2000, entry_offset=16,
+                      payload=b"\x02" * 128),
+        KernelSegment("shared", load_address=0x8000, entry_offset=0,
+                      payload=b"\x03" * 64),
+    ]
+
+
+class TestSegment:
+    def test_boot_address(self):
+        segment = KernelSegment("k", 0x1000, 0x20, bytes(64))
+        assert segment.boot_address == 0x1020
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelSegment("", 0, 0, b"")
+        with pytest.raises(ValueError):
+            KernelSegment("k", -1, 0, b"x")
+        with pytest.raises(ValueError):
+            KernelSegment("k", 0, 10, b"short")
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        image = unpack_data(pack_data(make_segments()))
+        assert image.names == ("app0", "app1", "shared")
+        assert image.segment("app1").load_address == 0x2000
+        assert image.segment("app1").entry_offset == 16
+        assert image.segment("shared").payload == b"\x03" * 64
+
+    def test_total_bytes(self):
+        image = unpack_data(pack_data(make_segments()))
+        assert image.total_bytes == 256 + 128 + 64
+
+    def test_unknown_segment_lookup(self):
+        image = unpack_data(pack_data(make_segments()))
+        with pytest.raises(KeyError):
+            image.segment("nope")
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(ValueError):
+            pack_data([])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_data(b"XXXX" + bytes(16))
+
+    def test_truncated_image_rejected(self):
+        packed = pack_data(make_segments())
+        with pytest.raises(ValueError):
+            unpack_data(packed[:20])
+
+    def test_trailing_garbage_rejected(self):
+        packed = pack_data(make_segments())
+        with pytest.raises(ValueError):
+            unpack_data(packed + b"junk")
+
+    @given(st.lists(
+        st.tuples(st.text(min_size=1, max_size=16),
+                  st.integers(min_value=0, max_value=2**40),
+                  st.binary(min_size=1, max_size=128)),
+        min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, raw):
+        segments = [
+            KernelSegment(f"{name}_{i}", address, 0, payload)
+            for i, (name, address, payload) in enumerate(raw)
+        ]
+        image = unpack_data(pack_data(segments))
+        assert len(image.segments) == len(segments)
+        for original, parsed in zip(segments, image.segments):
+            assert parsed == original

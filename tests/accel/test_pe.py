@@ -1,0 +1,125 @@
+"""Processing-element execution tests."""
+
+import pytest
+
+from repro.accel import ComputeOp, LoadOp, MemoryControllerUnit, StoreOp
+from repro.accel.pe import STATE_ACTIVE, STATE_IDLE, ProcessingElement
+
+
+def make_pe(sim, backend, **kwargs):
+    mcu = MemoryControllerUnit(sim, backend)
+    return ProcessingElement(sim, 1, mcu, **kwargs), mcu
+
+
+def run_trace(sim, pe, ops):
+    proc = sim.process(pe.run_kernel(ops))
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+
+
+class TestCompute:
+    def test_compute_advances_time_and_counts_instructions(self, sim,
+                                                           backend):
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [ComputeOp(400, dsp_intrinsics=False)])
+        assert pe.stats.instructions == 400
+        assert pe.stats.compute_ns == pytest.approx(100.0)  # 400/4 cycles
+
+    def test_dsp_intrinsics_speed_up_compute(self, sim, backend):
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [ComputeOp(120, dsp_intrinsics=True)])
+        assert pe.stats.compute_ns == pytest.approx(10.0)  # 120/12
+
+    def test_ipc_series_records_burst(self, sim, backend):
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [ComputeOp(400)])
+        assert pe.ipc_series.value_at(50.0) == pytest.approx(4.0)
+        assert pe.ipc_series.value_at(150.0) == 0.0
+
+
+class TestLoads:
+    def test_cold_load_misses_to_backend(self, sim, backend):
+        pe, mcu = make_pe(sim, backend)
+        run_trace(sim, pe, [LoadOp(0, 32)])
+        assert backend.reads == 1
+        assert mcu.reads == 1
+        assert pe.stats.l2_miss_ns > 0
+
+    def test_warm_load_hits_l1(self, sim, backend):
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [LoadOp(0, 32), LoadOp(16, 32)])
+        assert backend.reads == 1  # same 512 B block
+        assert pe.l1.hits == 1
+
+    def test_l2_hit_after_l1_eviction(self, sim, backend):
+        pe, _ = make_pe(sim, backend, l1_bytes=512, l2_bytes=4096)
+        # Touch block 0, evict it from the 1-block L1, touch it again.
+        run_trace(sim, pe, [LoadOp(0, 32), LoadOp(512, 32), LoadOp(0, 32)])
+        assert backend.reads == 2
+        assert pe.l2.hits == 1
+
+    def test_stall_time_accounted(self, sim, backend):
+        backend.read_ns = 10_000.0
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [LoadOp(0, 32)])
+        assert pe.stats.stall_ns >= 10_000.0
+
+    def test_pe_goes_idle_during_miss(self, sim, backend):
+        backend.read_ns = 10_000.0
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [LoadOp(0, 32), ComputeOp(4)])
+        assert pe.activity.value_at(5_000.0) == STATE_IDLE
+
+
+class TestStores:
+    def test_store_reaches_backend_via_buffer(self, sim, backend):
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [StoreOp(0, 512)])
+        assert backend.writes == 1
+        assert backend.inspect(0, 4) == bytes([2]) * 4  # pe_id+1 pattern
+
+    def test_store_buffer_hides_latency_until_full(self, sim, backend):
+        backend.write_ns = 10_000.0
+        pe, _ = make_pe(sim, backend, store_buffer_depth=8)
+        # 4 stores fit in the buffer: the PE should not stall on them.
+        ops = [StoreOp(i * 512, 512) for i in range(4)] + [ComputeOp(400)]
+        run_trace(sim, pe, ops)
+        assert pe.stats.store_stall_ns > 0  # only the final drain waits
+
+    def test_full_buffer_stalls_the_pe(self, sim, backend):
+        backend.write_ns = 50_000.0
+        pe, _ = make_pe(sim, backend, store_buffer_depth=1)
+        ops = [StoreOp(i * 512, 512) for i in range(4)]
+        run_trace(sim, pe, ops)
+        # With depth 1 and slow writes, queueing stalls accumulate well
+        # beyond the final drain of a single store.
+        assert pe.stats.store_stall_ns > 100_000.0
+
+    def test_stored_block_loads_from_cache(self, sim, backend):
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [StoreOp(0, 512), LoadOp(0, 32)])
+        assert backend.reads == 0  # load hit the cached block
+
+
+class TestKernelRun:
+    def test_mixed_trace_end_state(self, sim, backend):
+        pe, _ = make_pe(sim, backend)
+        ops = [LoadOp(0, 32), ComputeOp(100), StoreOp(512, 512),
+               ComputeOp(100), LoadOp(1024, 32)]
+        run_trace(sim, pe, ops)
+        assert pe.stats.loads == 2
+        assert pe.stats.stores == 1
+        assert pe.activity.value_at(sim.now) == STATE_IDLE
+
+    def test_unknown_op_rejected(self, sim, backend):
+        pe, _ = make_pe(sim, backend)
+        proc = sim.process(pe.run_kernel(["bogus"]))
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, TypeError)
+
+    def test_mean_ipc_positive_after_work(self, sim, backend):
+        pe, _ = make_pe(sim, backend)
+        run_trace(sim, pe, [ComputeOp(1000), LoadOp(0, 32)])
+        assert pe.mean_ipc > 0

@@ -1,0 +1,88 @@
+"""Server-PE protocol edge cases."""
+
+import pytest
+
+from repro.accel import Accelerator, ComputeOp, pack_data
+from repro.accel.kernel import KernelSegment
+from repro.accel.server import ServerPe
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+def make_image_bytes(name="k", payload_bytes=512):
+    return pack_data([KernelSegment(name, 0x1000, 0,
+                                    bytes(payload_bytes))])
+
+
+class TestServerEdgeCases:
+    def test_fewer_traces_than_agents_is_fine(self, sim, backend):
+        accel = Accelerator(sim, backend)
+
+        def driver():
+            image = yield from accel.server.load_image(make_image_bytes())
+            yield from accel.server.run_all(image, "k",
+                                            [[ComputeOp(10)]])
+
+        run(sim, driver())
+        assert accel.server.kernels_launched == 1
+
+    def test_server_needs_agents(self, sim, backend):
+        from repro.accel.mcu import MemoryControllerUnit
+        from repro.accel.psc import PowerSleepController
+
+        mcu = MemoryControllerUnit(sim, backend)
+        psc = PowerSleepController(sim, 1)
+        with pytest.raises(ValueError):
+            ServerPe(sim, mcu, psc, agents=[])
+
+    def test_image_segments_land_in_backend(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        image_bytes = pack_data([
+            KernelSegment("a", 0x2000, 0, b"\xAB" * 700),
+            KernelSegment("b", 0x4000, 0, b"\xCD" * 100),
+        ])
+
+        def driver():
+            yield from accel.server.load_image(image_bytes)
+
+        run(sim, driver())
+        assert backend.inspect(0x2000, 700) == b"\xAB" * 700
+        assert backend.inspect(0x4000, 100) == b"\xCD" * 100
+
+    def test_bad_segment_name_raises(self, sim, backend):
+        accel = Accelerator(sim, backend)
+
+        def driver():
+            image = yield from accel.server.load_image(make_image_bytes())
+            yield from accel.server.launch(0, image, "missing", [])
+
+        proc = sim.process(driver())
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, KeyError)
+
+    def test_hints_registered_before_kernel_runs(self, sim, backend):
+        accel = Accelerator(sim, backend)
+        order = []
+        original = backend.announce_writes
+
+        def announce(address, size):
+            order.append("hint")
+            original(address, size)
+
+        backend.announce_writes = announce
+
+        def driver():
+            image = yield from accel.server.load_image(
+                make_image_bytes(), output_regions=[(0x9000, 512)])
+            order.append("loaded")
+            yield from accel.server.run_all(image, "k", [[ComputeOp(1)]])
+
+        run(sim, driver())
+        assert order == ["hint", "loaded"]

@@ -1,0 +1,42 @@
+"""MemoryRequest validation tests."""
+
+import pytest
+
+from repro.controller import MemoryRequest, Op
+
+
+class TestValidation:
+    def test_read_request(self):
+        req = MemoryRequest(Op.READ, address=0x100, size=32)
+        assert not req.is_write
+
+    def test_write_requires_payload(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(Op.WRITE, 0, 32)
+
+    def test_write_payload_must_match_size(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(Op.WRITE, 0, 32, data=b"short")
+
+    def test_read_must_not_carry_payload(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(Op.READ, 0, 4, data=b"1234")
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(Op.READ, 0, 0)
+
+    def test_address_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(Op.READ, -1, 32)
+
+    def test_request_ids_are_unique(self):
+        a = MemoryRequest(Op.READ, 0, 32)
+        b = MemoryRequest(Op.READ, 0, 32)
+        assert a.request_id != b.request_id
+
+    def test_latency_property(self):
+        req = MemoryRequest(Op.READ, 0, 32)
+        req.submit_time = 10.0
+        req.complete_time = 150.0
+        assert req.latency == 140.0

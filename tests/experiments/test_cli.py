@@ -1,0 +1,59 @@
+"""CLI runner tests."""
+
+import pytest
+
+from repro.experiments import cli
+
+
+class TestParser:
+    def test_list_command(self):
+        args = cli.build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = cli.build_parser().parse_args(["run", "fig12"])
+        assert args.experiment == "fig12"
+        assert args.scale == 0.25
+        assert not args.quick
+
+    def test_quick_config(self):
+        args = cli.build_parser().parse_args(["run", "fig15", "--quick"])
+        config = cli.config_from_args(args)
+        assert config.agents == 3
+        assert config.workloads == ("gemver", "doitg")
+
+    def test_scale_config(self):
+        args = cli.build_parser().parse_args(
+            ["run", "fig15", "--scale", "0.1", "--seed", "9"])
+        config = cli.config_from_args(args)
+        assert config.scale == 0.1
+        assert config.seed == 9
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in cli.EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert cli.main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_tables(self, capsys):
+        assert cli.main(["run", "tables"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_run_fig12(self, capsys):
+        assert cli.main(["run", "fig12"]) == 0
+        assert "interleaving" in capsys.readouterr().out
+
+    def test_run_fig07_quick(self, capsys):
+        assert cli.main(["run", "fig07", "--quick"]) == 0
+        assert "firmware" in capsys.readouterr().out
+
+    def test_every_registered_experiment_has_description(self):
+        for name, (description, run_fn) in cli.EXPERIMENTS.items():
+            assert description
+            assert callable(run_fn)

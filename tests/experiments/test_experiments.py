@@ -1,0 +1,182 @@
+"""Experiment-module tests on the QUICK configuration."""
+
+import pytest
+
+from repro.experiments import fig01_motivation
+from repro.experiments import fig07_firmware
+from repro.experiments import fig12_interleaving_timing
+from repro.experiments import fig13_schedulers
+from repro.experiments import fig15_bandwidth
+from repro.experiments import fig16_exec_time
+from repro.experiments import fig17_energy
+from repro.experiments import fig18_19_ipc
+from repro.experiments import fig20_21_power
+from repro.experiments import tables
+from repro.experiments.runner import QUICK, format_table, geometric_mean
+
+
+class TestRunnerHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_quick_config_bundle(self):
+        bundle = QUICK.bundle("gemver")
+        assert bundle.spec.name == "gemver"
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = tables.table1_configuration()
+        assert len(rows) == 11
+        by_name = {row["system"]: row for row in rows}
+        assert by_name["DRAM-less"]["internal_dram"] is False
+        assert by_name["Hetero"]["heterogeneous"] is True
+        assert by_name["Integrated-TLC"]["nvm_write_us"] == 1250.0
+        assert by_name["DRAM-less"]["nvm_read_us"] == 0.1
+
+    def test_table2_parameters(self):
+        t2 = tables.table2_pram_parameters()
+        assert t2["RL_cycles"] == 6
+        assert t2["tRCD_ns"] == 80.0
+        assert t2["channels"] == 2
+        assert t2["partitions"] == 16
+        assert t2["write_us"] == (10.0, 18.0)
+
+    def test_table3_rows(self):
+        rows = tables.table3_workloads()
+        assert len(rows) == 15
+        doitg = next(r for r in rows if r["workload"] == "doitg")
+        assert doitg["category"] == "write-intensive"
+
+    def test_report_renders(self):
+        text = tables.report()
+        assert "Table I" in text and "Table III" in text
+
+
+class TestFig01:
+    def test_degradation_and_energy_shape(self):
+        result = fig01_motivation.run(QUICK)
+        assert 0.0 < result["max_degradation"] < 1.0
+        # Conventional system must cost noticeably more energy.
+        assert result["mean_energy_ratio"] > 1.2
+        assert "Figure 1" in fig01_motivation.report(result)
+
+
+class TestFig07:
+    def test_firmware_degrades_performance(self):
+        result = fig07_firmware.run(QUICK)
+        for row in result["rows"]:
+            assert row["normalized_performance"] < 1.0
+        assert result["max_degradation"] > 0.2
+        assert "Figure 7" in fig07_firmware.report(result)
+
+
+class TestFig12:
+    def test_interleaving_hides_latency(self):
+        result = fig12_interleaving_timing.run()
+        assert (result["interleaved_total_ns"]
+                < result["bare_metal_total_ns"])
+        # Abstract: hides access latency ~40%.
+        assert 0.25 <= result["hidden_fraction"] <= 0.60
+        assert "Figure 12" in fig12_interleaving_timing.report(result)
+
+    def test_single_request_has_nothing_to_hide(self):
+        result = fig12_interleaving_timing.run(request_count=1)
+        assert result["hidden_fraction"] == pytest.approx(0.0, abs=0.05)
+
+
+class TestFig13:
+    def test_policies_ordered(self):
+        result = fig13_schedulers.run(QUICK)
+        for row in result["rows"]:
+            assert row["bare-metal"] == 1.0
+            assert row["interleaving"] >= 0.95
+            assert row["selective-erasing"] >= 0.95
+            # Final combines both optimizations.
+            assert row["final"] >= max(row["interleaving"],
+                                       row["selective-erasing"]) * 0.9
+        assert "Figure 13" in fig13_schedulers.report(result)
+
+
+class TestFig15:
+    def test_dramless_wins(self):
+        result = fig15_bandwidth.run(QUICK)
+        means = result["means"]
+        assert means["DRAM-less"] == max(means.values())
+        assert result["dramless_vs_hetero"] > 0.3
+        assert result["heterodirect_vs_hetero"] > 0.0
+        assert "Figure 15" in fig15_bandwidth.report(result)
+
+
+class TestFig16:
+    def test_fractions_sum_to_one(self):
+        result = fig16_exec_time.run(QUICK, systems=("Hetero",
+                                                     "DRAM-less"))
+        for name, shares in result["mean_fractions"].items():
+            assert sum(shares.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_hetero_prepares_dramless_does_not(self):
+        result = fig16_exec_time.run(QUICK, systems=("Hetero",
+                                                     "DRAM-less"))
+        fractions = result["mean_fractions"]
+        assert fractions["Hetero"]["data_preparation"] > 0.0
+        assert fractions["DRAM-less"]["data_preparation"] == 0.0
+        assert "Figure 16" in fig16_exec_time.report(result)
+
+
+class TestFig17:
+    def test_dramless_energy_lowest_band(self):
+        result = fig17_energy.run(QUICK)
+        assert result["dramless_fraction_of_heterodirect"] < 0.5
+        assert "Figure 17" in fig17_energy.report(result)
+
+    def test_host_energy_only_for_heterogeneous(self):
+        result = fig17_energy.run(QUICK, systems=("Hetero", "DRAM-less"))
+        categories = result["category_mj"]
+        assert categories["Hetero"]["host"] > 0
+        assert categories["DRAM-less"]["host"] == 0
+
+
+class TestFig1819:
+    def test_page_systems_idle_dramless_sustains(self):
+        result = fig18_19_ipc.run("gemver", QUICK,
+                                  systems=("Integrated-SLC", "DRAM-less"),
+                                  buckets=20)
+        # DRAM-less sustains a higher aggregate IPC and is not more
+        # stalled than the page-granule system.
+        assert (result["mean_ipc"]["DRAM-less"]
+                > result["mean_ipc"]["Integrated-SLC"])
+        assert (result["stall_fraction"]["DRAM-less"]
+                <= result["stall_fraction"]["Integrated-SLC"] + 0.05)
+        assert "IPC" in fig18_19_ipc.report(result)
+
+    def test_series_have_requested_buckets(self):
+        result = fig18_19_ipc.run("gemver", QUICK,
+                                  systems=("DRAM-less",), buckets=10)
+        assert len(result["series"]["DRAM-less"]) == 10
+
+
+class TestFig2021:
+    def test_capture_is_16kb_scale(self):
+        result = fig20_21_power.run("gemver", QUICK,
+                                    systems=("DRAM-less",), buckets=8)
+        assert result["completion_ns"]["DRAM-less"] > 0
+        assert result["energy_mj"]["DRAM-less"] > 0
+        assert len(result["power_series"]["DRAM-less"]) == 8
+
+    def test_dramless_finishes_faster_than_nor(self):
+        result = fig20_21_power.run(
+            "doitg", QUICK, systems=("NOR-intf", "DRAM-less"), buckets=8)
+        assert (result["completion_ns"]["DRAM-less"]
+                < result["completion_ns"]["NOR-intf"])
+        assert "16KB" in fig20_21_power.report(result)

@@ -1,0 +1,51 @@
+"""Tests for the terminal time-series renderer."""
+
+from repro.experiments.plot import series_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "   "
+
+    def test_max_maps_to_full_block(self):
+        line = sparkline([0.0, 1.0])
+        assert line[-1] == "█"
+        assert line[0] == " "
+
+    def test_shared_scale(self):
+        half = sparkline([0.5], maximum=1.0)
+        own = sparkline([0.5])
+        assert own == "█"
+        assert half not in ("█", " ")
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0] * 17)) == 17
+
+    def test_values_above_scale_clamp(self):
+        assert sparkline([2.0], maximum=1.0) == "█"
+
+
+class TestSeriesChart:
+    def test_renders_labels_and_scale(self):
+        chart = series_chart({
+            "DRAM-less": [(0.0, 2.0), (1.0, 2.0)],
+            "PAGE-buffer": [(0.0, 0.0), (1.0, 1.0)],
+        })
+        assert "DRAM-less" in chart
+        assert "PAGE-buffer" in chart
+        assert "scale: 0 .. 2" in chart
+
+    def test_empty_mapping(self):
+        assert series_chart({}) == "(no series)"
+
+    def test_rows_share_the_peak(self):
+        chart = series_chart({
+            "a": [(0.0, 1.0)],
+            "b": [(0.0, 2.0)],
+        })
+        lines = chart.splitlines()
+        assert lines[1].rstrip().endswith("█")   # b at peak
+        assert not lines[0].rstrip().endswith("█")  # a at half

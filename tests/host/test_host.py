@@ -1,0 +1,241 @@
+"""Host CPU, PCIe, storage stack, and P2P DMA tests."""
+
+import pytest
+
+from repro.energy import EnergyAccount
+from repro.host import (
+    HostCpu,
+    HostCpuCosts,
+    PcieLink,
+    PeerToPeerDma,
+    StorageSoftwareStack,
+)
+from repro.sim import Simulator
+from repro.storage import EmulatedSsd, FlashCellType
+from repro.storage.flash import PAGE_BYTES
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestHostCpu:
+    def test_syscall_cost_and_count(self):
+        sim = Simulator()
+        cpu = HostCpu(sim)
+
+        def driver():
+            yield from cpu.syscall()
+
+        run(sim, driver())
+        assert sim.now == pytest.approx(1_500.0)
+        assert cpu.syscalls == 1
+
+    def test_copy_time_scales_with_size(self):
+        sim = Simulator()
+        cpu = HostCpu(sim)
+
+        def driver():
+            yield from cpu.copy(10_000)
+
+        run(sim, driver())
+        assert sim.now == pytest.approx(1_000.0)
+        assert cpu.bytes_copied == 10_000
+
+    def test_core_serializes_work(self):
+        sim = Simulator()
+        cpu = HostCpu(sim)
+
+        def worker():
+            yield from cpu.run(100.0)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert sim.now == pytest.approx(200.0)
+
+    def test_energy_charged_at_package_power(self):
+        energy = EnergyAccount()
+        sim = Simulator()
+        cpu = HostCpu(sim, energy=energy)
+
+        def driver():
+            yield from cpu.run(1_000.0)
+
+        run(sim, driver())
+        assert energy.by_category()["host"] == pytest.approx(65_000.0)
+
+    def test_copy_charges_host_dram(self):
+        energy = EnergyAccount()
+        sim = Simulator()
+        cpu = HostCpu(sim, energy=energy)
+
+        def driver():
+            yield from cpu.copy(1_000)
+
+        run(sim, driver())
+        assert energy.by_category()["host_dram"] > 0
+
+    def test_negative_inputs_rejected(self):
+        sim = Simulator()
+        cpu = HostCpu(sim)
+
+        def driver():
+            with pytest.raises(ValueError):
+                yield from cpu.run(-1.0)
+            with pytest.raises(ValueError):
+                yield from cpu.copy(-1)
+
+        run(sim, driver())
+
+    def test_custom_costs(self):
+        sim = Simulator()
+        cpu = HostCpu(sim, costs=HostCpuCosts(syscall_ns=100.0))
+
+        def driver():
+            yield from cpu.syscall()
+
+        run(sim, driver())
+        assert sim.now == pytest.approx(100.0)
+
+
+class TestPcieLink:
+    def test_transfer_time(self):
+        sim = Simulator()
+        link = PcieLink(sim)
+
+        def driver():
+            yield from link.transfer(3_200)
+
+        run(sim, driver())
+        assert sim.now == pytest.approx(1_000.0 + 900.0)
+
+    def test_energy_per_byte_and_request(self):
+        energy = EnergyAccount()
+        sim = Simulator()
+        link = PcieLink(sim, energy=energy)
+
+        def driver():
+            yield from link.transfer(1_000)
+
+        run(sim, driver())
+        assert energy.by_category()["pcie"] == pytest.approx(18.0 + 500.0)
+
+    def test_byte_accounting(self):
+        sim = Simulator()
+        link = PcieLink(sim)
+
+        def driver():
+            yield from link.transfer(128)
+
+        run(sim, driver())
+        assert link.bytes_transferred == 128
+        assert link.transfers == 1
+
+
+def make_stack():
+    sim = Simulator()
+    cpu = HostCpu(sim)
+    ssd = EmulatedSsd(sim, cell_type=FlashCellType.SLC,
+                      buffer_bytes=4 * PAGE_BYTES)
+    ssd_link = PcieLink(sim, name="pcie.ssd")
+    accel_link = PcieLink(sim, name="pcie.accel")
+    stack = StorageSoftwareStack(sim, cpu, ssd, ssd_link, accel_link)
+    return sim, cpu, ssd, stack
+
+
+class TestStorageSoftwareStack:
+    def test_load_returns_data_and_costs_software_time(self):
+        sim, cpu, ssd, stack = make_stack()
+        ssd.preload(0, b"\x42" * 4096)
+
+        def driver():
+            data = yield from stack.load_to_accelerator(0, 4096)
+            return data
+
+        data = run(sim, driver())
+        assert data == b"\x42" * 4096
+        assert cpu.syscalls == 2
+        assert cpu.copies == 2
+        assert cpu.context_switches == 1
+        # Total far exceeds the raw flash read: software dominates.
+        assert sim.now > FlashCellType.SLC.read_ns
+
+    def test_store_reaches_the_ssd(self):
+        sim, cpu, ssd, stack = make_stack()
+
+        def driver():
+            yield from stack.store_from_accelerator(0, b"\x24" * 512)
+            yield from ssd.flush()
+
+        run(sim, driver())
+        assert ssd.inspect(0, 512) == b"\x24" * 512
+
+    def test_request_counter(self):
+        sim, _, ssd, stack = make_stack()
+        ssd.preload(0, bytes(64))
+
+        def driver():
+            yield from stack.load_to_accelerator(0, 64)
+            yield from stack.store_from_accelerator(0, bytes(64))
+
+        run(sim, driver())
+        assert stack.requests == 2
+
+
+class TestPeerToPeerDma:
+    def test_p2p_load_is_cheaper_than_stack_load(self):
+        sim_a, _, ssd_a, stack = make_stack()
+        ssd_a.preload(0, bytes(4096))
+
+        def stack_driver():
+            yield from stack.load_to_accelerator(0, 4096)
+
+        run(sim_a, stack_driver())
+        stack_time = sim_a.now
+
+        sim_b = Simulator()
+        cpu_b = HostCpu(sim_b)
+        ssd_b = EmulatedSsd(sim_b, cell_type=FlashCellType.SLC,
+                            buffer_bytes=4 * PAGE_BYTES)
+        ssd_b.preload(0, bytes(4096))
+        p2p = PeerToPeerDma(sim_b, cpu_b, ssd_b, PcieLink(sim_b))
+
+        def p2p_driver():
+            yield from p2p.load_to_accelerator(0, 4096)
+
+        run(sim_b, p2p_driver())
+        assert sim_b.now < stack_time
+
+    def test_p2p_store_roundtrip(self):
+        sim = Simulator()
+        cpu = HostCpu(sim)
+        ssd = EmulatedSsd(sim, cell_type=FlashCellType.SLC,
+                          buffer_bytes=4 * PAGE_BYTES)
+        p2p = PeerToPeerDma(sim, cpu, ssd, PcieLink(sim))
+
+        def driver():
+            yield from p2p.store_from_accelerator(0, b"\x11" * 256)
+            data = yield from p2p.load_to_accelerator(0, 256)
+            return data
+
+        assert run(sim, driver()) == b"\x11" * 256
+        assert p2p.transfers == 2
+
+    def test_p2p_avoids_host_copies(self):
+        sim = Simulator()
+        cpu = HostCpu(sim)
+        ssd = EmulatedSsd(sim, cell_type=FlashCellType.SLC,
+                          buffer_bytes=4 * PAGE_BYTES)
+        p2p = PeerToPeerDma(sim, cpu, ssd, PcieLink(sim))
+
+        def driver():
+            yield from p2p.load_to_accelerator(0, 1024)
+
+        run(sim, driver())
+        assert cpu.copies == 0
+        assert cpu.bytes_copied == 0

@@ -1,0 +1,108 @@
+"""Detailed accounting tests for the host storage software stack."""
+
+import pytest
+
+from repro.energy import EnergyAccount
+from repro.host import HostCpu, PcieLink, StorageSoftwareStack
+from repro.host.software_stack import FILESYSTEM_REQUEST_NS
+from repro.sim import Simulator
+from repro.storage import EmulatedSsd, FlashCellType
+from repro.storage.flash import PAGE_BYTES
+
+
+def make_stack(energy=None):
+    sim = Simulator()
+    cpu = HostCpu(sim, energy=energy)
+    ssd = EmulatedSsd(sim, cell_type=FlashCellType.SLC,
+                      buffer_bytes=8 * PAGE_BYTES, energy=energy)
+    ssd_link = PcieLink(sim, name="pcie.ssd", energy=energy)
+    accel_link = PcieLink(sim, name="pcie.accel", energy=energy)
+    return sim, cpu, ssd, StorageSoftwareStack(sim, cpu, ssd, ssd_link,
+                                               accel_link)
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestLoadAccounting:
+    def test_cpu_time_includes_every_stage(self):
+        sim, cpu, ssd, stack = make_stack()
+        ssd.preload(0, bytes([1]) * 4096)
+
+        def driver():
+            yield from stack.load_to_accelerator(0, 4096)
+
+        run(sim, driver())
+        costs = cpu.costs
+        expected_minimum = (
+            2 * costs.syscall_ns
+            + FILESYSTEM_REQUEST_NS
+            + costs.context_switch_ns
+            + costs.interrupt_ns
+            + 2 * (4096 / costs.copy_bandwidth)
+            + 4096 * costs.deserialize_per_byte_ns)
+        assert cpu.busy_ns == pytest.approx(expected_minimum)
+
+    def test_both_pcie_links_carry_the_payload(self):
+        sim, _, ssd, stack = make_stack()
+        ssd.preload(0, bytes(2048))
+
+        def driver():
+            yield from stack.load_to_accelerator(0, 2048)
+
+        run(sim, driver())
+        assert stack.ssd_link.bytes_transferred == 2048
+        assert stack.accel_link.bytes_transferred == 2048
+
+    def test_energy_split_across_components(self):
+        energy = EnergyAccount()
+        sim, _, ssd, stack = make_stack(energy=energy)
+        ssd.preload(0, bytes(4096))
+
+        def driver():
+            yield from stack.load_to_accelerator(0, 4096)
+
+        run(sim, driver())
+        categories = energy.by_category()
+        assert categories["host"] > 0
+        assert categories["host_dram"] > 0
+        assert categories["pcie"] > 0
+        assert categories["storage"] > 0
+
+
+class TestStoreAccounting:
+    def test_store_runs_the_inverse_sequence(self):
+        sim, cpu, ssd, stack = make_stack()
+
+        def driver():
+            yield from stack.store_from_accelerator(0, bytes([2]) * 1024)
+
+        run(sim, driver())
+        assert cpu.copies == 2
+        assert cpu.syscalls == 1
+        assert cpu.context_switches == 1
+        assert stack.accel_link.bytes_transferred == 1024
+        assert ssd.inspect(0, 1024) == bytes([2]) * 1024
+
+    def test_host_core_serializes_concurrent_requests(self):
+        def elapsed(request_count):
+            sim, cpu, ssd, stack = make_stack()
+            ssd.preload(0, bytes(8192))
+            for index in range(request_count):
+                sim.process(stack.load_to_accelerator(index * 4096, 4096))
+            sim.run()
+            return sim.now, cpu.busy_ns
+
+        one_time, one_busy = elapsed(1)
+        two_time, two_busy = elapsed(2)
+        # The single host core serializes the software portions: CPU
+        # busy time exactly doubles.  Wall time grows by less than a
+        # full request (device/PCIe portions overlap) but by more than
+        # half the serialized software share.
+        assert two_busy == pytest.approx(2 * one_busy)
+        assert one_time + one_busy * 0.5 < two_time < 2 * one_time

@@ -1,0 +1,160 @@
+"""Address decomposition tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import AddressError, AddressMap, PramAddress, PramGeometry
+
+MAP = AddressMap()
+
+
+class TestDecompose:
+    def test_address_zero(self):
+        assert MAP.decompose(0) == PramAddress(0, 0, 0, 0, 0)
+
+    def test_column_is_lowest(self):
+        assert MAP.decompose(31).column == 31
+        assert MAP.decompose(32).column == 0
+        assert MAP.decompose(32).module == 1
+
+    def test_32_bytes_per_bank_striping(self):
+        # Section III-B: a 512 B channel request = 32 B per bank.
+        geo = MAP.geometry
+        for i in range(geo.modules_per_channel):
+            address = MAP.decompose(i * geo.row_bytes)
+            assert address.module == i
+            assert address.channel == 0
+
+    def test_512_bytes_per_channel_striping(self):
+        geo = MAP.geometry
+        channel_stride = geo.row_bytes * geo.modules_per_channel
+        assert channel_stride == 512
+        assert MAP.decompose(channel_stride).channel == 1
+        assert MAP.decompose(channel_stride).module == 0
+
+    def test_partition_rotates_every_kilobyte(self):
+        geo = MAP.geometry
+        partition_stride = (geo.row_bytes * geo.modules_per_channel
+                            * geo.channels)
+        assert partition_stride == 1024
+        address = MAP.decompose(partition_stride)
+        assert address.partition == 1
+        assert address.row == 0
+
+    def test_row_advances_after_all_partitions(self):
+        geo = MAP.geometry
+        row_stride = (geo.row_bytes * geo.modules_per_channel
+                      * geo.channels * geo.partitions_per_bank)
+        assert row_stride == 16 * 1024
+        address = MAP.decompose(row_stride)
+        assert address.row == 1
+        assert address.partition == 0
+
+    def test_last_byte(self):
+        geo = MAP.geometry
+        address = MAP.decompose(geo.total_bytes - 1)
+        assert address.channel == geo.channels - 1
+        assert address.column == geo.row_bytes - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(AddressError):
+            MAP.decompose(-1)
+
+    def test_beyond_capacity_rejected(self):
+        with pytest.raises(AddressError):
+            MAP.decompose(MAP.geometry.total_bytes)
+
+
+class TestCompose:
+    def test_inverse_of_decompose_on_edges(self):
+        geo = MAP.geometry
+        for flat in (0, 31, 32, geo.partition_bytes, geo.module_bytes,
+                     geo.channel_bytes, geo.total_bytes - 1):
+            assert MAP.compose(MAP.decompose(flat)) == flat
+
+    def test_validates_fields(self):
+        with pytest.raises(AddressError):
+            MAP.compose(PramAddress(0, 0, 99, 0, 0))
+        with pytest.raises(AddressError):
+            MAP.compose(PramAddress(0, 0, 0, 0, 32))
+
+    @given(st.integers(min_value=0,
+                       max_value=PramGeometry().total_bytes - 1))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, flat):
+        assert MAP.compose(MAP.decompose(flat)) == flat
+
+
+class TestRowSplit:
+    def test_split_and_join(self):
+        upper, lower = MAP.split_row(0b1010101_0110011)
+        assert MAP.join_row(upper, lower) == 0b1010101_0110011
+
+    def test_lower_bits_width(self):
+        geo = MAP.geometry
+        _, lower = MAP.split_row(geo.rows_per_partition - 1)
+        assert lower < (1 << geo.lower_row_bits)
+
+    def test_split_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            MAP.split_row(MAP.geometry.rows_per_partition)
+
+    def test_join_rejects_bad_lower(self):
+        with pytest.raises(AddressError):
+            MAP.join_row(0, 1 << MAP.geometry.lower_row_bits)
+
+    def test_join_rejects_overflow(self):
+        geo = MAP.geometry
+        with pytest.raises(AddressError):
+            MAP.join_row(1 << geo.upper_row_bits, 0)
+
+    @given(st.integers(min_value=0,
+                       max_value=PramGeometry().rows_per_partition - 1))
+    @settings(max_examples=200)
+    def test_split_join_roundtrip_property(self, row):
+        upper, lower = MAP.split_row(row)
+        assert MAP.join_row(upper, lower) == row
+
+
+class TestIterRows:
+    def test_single_row_chunk(self):
+        chunks = list(MAP.iter_rows(0, 16))
+        assert len(chunks) == 1
+        address, offset, size = chunks[0]
+        assert (address.row, address.column, offset, size) == (0, 0, 0, 16)
+
+    def test_unaligned_request_spans_modules(self):
+        chunks = list(MAP.iter_rows(24, 16))
+        assert [(a.module, a.column, o, s) for a, o, s in chunks] == [
+            (0, 24, 0, 8),
+            (1, 0, 8, 8),
+        ]
+
+    def test_512_byte_server_request(self):
+        # The server issues 512 B per channel (Section III-B): the
+        # request fans out as 32 B to each of the 16 modules.
+        chunks = list(MAP.iter_rows(0, 512))
+        assert len(chunks) == 512 // 32
+        assert sum(size for _, _, size in chunks) == 512
+        assert [a.module for a, _, _ in chunks] == list(range(16))
+        assert all(a.channel == 0 for a, _, _ in chunks)
+
+    def test_zero_size_yields_nothing(self):
+        assert list(MAP.iter_rows(100, 0)) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(AddressError):
+            list(MAP.iter_rows(0, -1))
+
+    @given(st.integers(min_value=0, max_value=2 ** 20),
+           st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=100)
+    def test_chunks_tile_the_request_property(self, flat, size):
+        chunks = list(MAP.iter_rows(flat, size))
+        assert sum(s for _, _, s in chunks) == size
+        offsets = [o for _, o, _ in chunks]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+        for address, _, chunk_size in chunks:
+            assert address.column + chunk_size <= MAP.geometry.row_bytes

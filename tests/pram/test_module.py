@@ -1,0 +1,233 @@
+"""End-to-end PRAM module tests: three-phase addressing, writes, erase."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import (
+    AddressError,
+    BufferMissError,
+    PramGeometry,
+    PramModule,
+    ProtocolError,
+)
+from repro.pram.overlay_window import CMD_ERASE, CMD_SELECTIVE_ERASE
+
+
+@pytest.fixture
+def module():
+    return PramModule()
+
+
+def full_read(module, partition, row, now=0.0, buffer_id=0):
+    """Drive the whole three-phase read sequence, return (finish, data)."""
+    from repro.pram import AddressMap
+
+    upper, lower = AddressMap(module.geometry).split_row(row)
+    t = module.pre_active(now, buffer_id, upper)
+    t = module.activate(t, buffer_id, partition, lower)
+    return module.read_burst(t, buffer_id, column=0,
+                             size=module.geometry.row_bytes)
+
+
+def full_write(module, partition, row, data, now=0.0):
+    """Stage + execute a program, return the finish time."""
+    t = module.stage_program(now, partition, row, 0, data)
+    return module.execute_program(t)
+
+
+class TestThreePhaseRead:
+    def test_unwritten_rows_read_zero(self, module):
+        _, data = full_read(module, partition=0, row=5)
+        assert data == bytes(32)
+
+    def test_read_latency_near_100ns(self, module):
+        finish, _ = full_read(module, 0, 5)
+        assert 100.0 <= finish <= 160.0
+
+    def test_read_returns_written_data(self, module):
+        payload = bytes(range(32))
+        full_write(module, 2, 7, payload)
+        _, data = full_read(module, 2, 7)
+        assert data == payload
+
+    def test_activate_requires_pre_active(self, module):
+        with pytest.raises(ProtocolError):
+            module.activate(0.0, buffer_id=0, partition=0, lower_row=0)
+
+    def test_read_burst_requires_valid_rdb(self, module):
+        with pytest.raises(BufferMissError):
+            module.read_burst(0.0, buffer_id=0, column=0, size=32)
+
+    def test_burst_bounds_checked(self, module):
+        module.pre_active(0.0, 0, 0)
+        module.activate(10.0, 0, 0, 0)
+        with pytest.raises(AddressError):
+            module.read_burst(100.0, 0, column=20, size=20)
+
+    def test_partial_column_read(self, module):
+        full_write(module, 0, 0, bytes(range(32)))
+        module.pre_active(0.0, 0, 0)
+        module.activate(10.0, 0, 0, 0)
+        _, data = module.read_burst(100.0, 0, column=8, size=8)
+        assert data == bytes(range(8, 16))
+
+    def test_rdb_hit_allows_repeat_burst_without_activate(self, module):
+        full_write(module, 0, 0, b"\xAA" * 32)
+        finish, _ = full_read(module, 0, 0)
+        # Buffer still valid: burst again directly.
+        finish2, data = module.read_burst(finish, 0, 0, 32)
+        assert data == b"\xAA" * 32
+        assert finish2 - finish == pytest.approx(57.5)
+
+
+class TestWritePath:
+    def test_write_latency_is_program_dominated(self, module):
+        finish = full_write(module, 0, 0, bytes(32))
+        assert 10_000.0 <= finish <= 11_000.0
+
+    def test_overwrite_pays_reset_pass(self, module):
+        first = full_write(module, 0, 0, b"\x11" * 32)
+        second = full_write(module, 0, 0, b"\x22" * 32, now=first)
+        assert (second - first) - first == pytest.approx(8_000.0, abs=500.0)
+
+    def test_write_invalidates_stale_rdb_copy(self, module):
+        full_write(module, 0, 0, b"\x01" * 32)
+        full_read(module, 0, 0)  # RDB now caches the row
+        full_write(module, 0, 0, b"\x02" * 32)
+        _, data = full_read(module, 0, 0)
+        assert data == b"\x02" * 32
+
+    def test_multi_row_program_spills_correctly(self, module):
+        payload = bytes(range(64))
+        full_write(module, 0, 10, payload)
+        _, first = full_read(module, 0, 10)
+        _, second = full_read(module, 0, 11)
+        assert first + second == payload
+
+    def test_partition_busy_serializes_programs(self, module):
+        finish = full_write(module, 0, 0, bytes(32))
+        # Stage the next program immediately; the array program must
+        # queue behind the first partition occupancy.
+        t = module.stage_program(0.0, 0, 1, 0, bytes(32))
+        assert t < finish
+        second_finish = module.execute_program(t)
+        assert second_finish >= finish + 10_000.0
+
+    def test_different_partitions_program_in_parallel_windows(self, module):
+        finish_a = full_write(module, 0, 0, bytes(32))
+        # Partition 1 is idle: its program does not queue behind 0's.
+        t = module.stage_program(0.0, 1, 0, 0, bytes(32))
+        finish_b = module.execute_program(t)
+        assert finish_b < finish_a + 10_000.0
+
+    def test_empty_payload_rejected(self, module):
+        with pytest.raises(ProtocolError):
+            module.stage_program(0.0, 0, 0, 0, b"")
+
+    def test_oversized_payload_rejected(self, module):
+        with pytest.raises(AddressError):
+            module.stage_program(0.0, 0, 0, 0, bytes(1024))
+
+    def test_bad_partition_rejected(self, module):
+        with pytest.raises(AddressError):
+            module.stage_program(0.0, 16, 0, 0, bytes(32))
+
+
+class TestSelectiveErase:
+    def test_pre_reset_makes_next_write_set_only(self, module):
+        full_write(module, 0, 0, b"\x33" * 32)  # now programmed
+        t = module.stage_program(0.0, 0, 0, 0, bytes(32),
+                                 command=CMD_SELECTIVE_ERASE)
+        reset_done = module.execute_program(t)
+        start = reset_done
+        finish = full_write(module, 0, 0, b"\x44" * 32, now=start)
+        # SET-only: ~10us, not ~18us.
+        assert finish - start < 11_000.0
+
+    def test_reset_zeroes_the_data(self, module):
+        full_write(module, 0, 0, b"\x55" * 32)
+        t = module.stage_program(0.0, 0, 0, 0, bytes(32),
+                                 command=CMD_SELECTIVE_ERASE)
+        module.execute_program(t)
+        _, data = full_read(module, 0, 0)
+        assert data == bytes(32)
+
+    def test_reset_cost_is_reset_only_latency(self, module):
+        full_write(module, 0, 0, b"\x66" * 32)
+        busy_from = module.partition_ready_at(0)
+        t = module.stage_program(busy_from, 0, 0, 0, bytes(32),
+                                 command=CMD_SELECTIVE_ERASE)
+        finish = module.execute_program(t)
+        assert finish - t == pytest.approx(8_000.0 + 15.0)
+
+
+class TestErase:
+    def test_erase_blocks_partition_for_60ms(self, module):
+        full_write(module, 3, 0, b"\x77" * 32)
+        t = module.stage_program(100_000.0, 3, 0, 0, b"\x00",
+                                 command=CMD_ERASE)
+        finish = module.execute_program(t)
+        assert finish - t >= 60_000_000.0
+        assert module.partition_ready_at(3) >= 60_000_000.0
+
+    def test_erase_returns_partition_to_pristine(self, module):
+        full_write(module, 3, 0, b"\x77" * 32)
+        t = module.stage_program(0.0, 3, 0, 0, b"\x00", command=CMD_ERASE)
+        module.execute_program(t)
+        _, data = full_read(module, 3, 0)
+        assert data == bytes(32)
+        # Writes after an erase are SET-only again.
+        start = module.partition_ready_at(3)
+        finish = full_write(module, 3, 0, b"\x88" * 32, now=start)
+        assert finish - start < 11_000.0
+
+
+class TestPeekPoke:
+    def test_poke_preloads_data(self, module):
+        module.poke(0, 100, b"\x99" * 32)
+        assert module.peek(0, 100) == b"\x99" * 32
+        _, data = full_read(module, 0, 100)
+        assert data == b"\x99" * 32
+
+    def test_poked_rows_count_as_programmed(self, module):
+        module.poke(0, 100, b"\x99" * 32)
+        assert module.program_needs_reset(0, 100, 0, 32)
+
+    def test_poke_requires_full_row(self, module):
+        with pytest.raises(AddressError):
+            module.poke(0, 0, b"short")
+
+
+class TestCounters:
+    def test_operation_counters(self, module):
+        full_write(module, 0, 0, bytes(32))
+        full_read(module, 0, 0)
+        t = module.stage_program(0.0, 0, 1, 0, bytes(32),
+                                 command=CMD_SELECTIVE_ERASE)
+        module.execute_program(t)
+        assert module.programs == 1
+        assert module.reads == 1
+        assert module.resets == 1
+
+
+@given(st.binary(min_size=32, max_size=32),
+       st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=50, deadline=None)
+def test_write_read_roundtrip_property(payload, partition, row):
+    """Whatever is programmed is what a later read returns."""
+    module = PramModule()
+    full_write(module, partition, row, payload)
+    _, data = full_read(module, partition, row)
+    assert data == payload
+
+
+def test_small_geometry_supported():
+    geo = PramGeometry(channels=1, modules_per_channel=1,
+                       partitions_per_bank=2, tiles_per_partition=1,
+                       bitlines_per_tile=64, wordlines_per_tile=64)
+    module = PramModule(geometry=geo)
+    full_write(module, 0, 0, bytes(geo.row_bytes))
+    _, data = full_read(module, 0, 0)
+    assert data == bytes(geo.row_bytes)

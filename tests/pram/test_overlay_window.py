@@ -1,0 +1,149 @@
+"""Overlay-window register file and program-buffer handshake tests."""
+
+import pytest
+
+from repro.pram import OverlayWindow, ProtocolError
+from repro.pram.overlay_window import (
+    CMD_ERASE,
+    CMD_PROGRAM,
+    CMD_SELECTIVE_ERASE,
+    PROGRAM_BUFFER_OFFSET,
+    REG_ADDRESS,
+    REG_COMMAND,
+    REG_EXECUTE,
+    REG_MULTIPURPOSE,
+    REG_STATUS,
+)
+
+
+def staged_window(command=CMD_PROGRAM, address=0x1000, size=32):
+    window = OverlayWindow()
+    window.write_register(REG_COMMAND, command)
+    window.write_register(REG_ADDRESS, address)
+    window.write_register(REG_MULTIPURPOSE, size)
+    window.write_buffer(0, bytes(range(size % 256)) or b"\x00")
+    window.write_register(REG_EXECUTE, 1)
+    return window
+
+
+class TestRegisterMap:
+    def test_section5b_offsets(self):
+        assert REG_COMMAND == 0x80
+        assert REG_ADDRESS == 0x8B
+        assert REG_MULTIPURPOSE == 0x93
+        assert REG_EXECUTE == 0xC0
+        assert PROGRAM_BUFFER_OFFSET == 0x800
+
+    def test_write_and_read_register(self):
+        window = OverlayWindow()
+        window.write_register(REG_ADDRESS, 0xBEEF)
+        assert window.read_register(REG_ADDRESS) == 0xBEEF
+
+    def test_unknown_register_rejected(self):
+        window = OverlayWindow()
+        with pytest.raises(ProtocolError):
+            window.write_register(0x55, 1)
+        with pytest.raises(ProtocolError):
+            window.read_register(0x55)
+
+    def test_status_register_is_read_only(self):
+        window = OverlayWindow()
+        with pytest.raises(ProtocolError):
+            window.write_register(REG_STATUS, 1)
+
+
+class TestWindowMapping:
+    def test_default_window_at_zero(self):
+        window = OverlayWindow()
+        assert window.contains(0)
+        assert window.contains(PROGRAM_BUFFER_OFFSET + 100)
+        assert not window.contains(PROGRAM_BUFFER_OFFSET + 512)
+
+    def test_relocation_via_owba(self):
+        window = OverlayWindow()
+        window.set_base(0x40000)
+        assert not window.contains(0)
+        assert window.contains(0x40000 + 0x80)
+
+    def test_negative_owba_rejected(self):
+        with pytest.raises(ValueError):
+            OverlayWindow().set_base(-1)
+
+
+class TestProgramBuffer:
+    def test_write_and_read_back(self):
+        window = OverlayWindow()
+        window.write_buffer(4, b"abcd")
+        assert window.read_buffer(4, 4) == b"abcd"
+
+    def test_out_of_bounds_rejected(self):
+        window = OverlayWindow()
+        with pytest.raises(ProtocolError):
+            window.write_buffer(510, b"abcd")
+        with pytest.raises(ProtocolError):
+            window.read_buffer(-1, 4)
+
+    def test_buffer_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OverlayWindow(program_buffer_bytes=0)
+
+
+class TestLaunchHandshake:
+    def test_launch_returns_staged_fields(self):
+        window = staged_window(size=16)
+        command, address, size, payload = window.launch()
+        assert command == CMD_PROGRAM
+        assert address == 0x1000
+        assert size == 16
+        assert len(payload) == 16
+        assert window.busy
+
+    def test_launch_without_execute_rejected(self):
+        window = staged_window()
+        window.write_register(REG_EXECUTE, 0)
+        with pytest.raises(ProtocolError):
+            window.launch()
+
+    def test_launch_with_unknown_command_rejected(self):
+        window = staged_window(command=0x99)
+        with pytest.raises(ProtocolError):
+            window.launch()
+
+    def test_double_launch_rejected(self):
+        window = staged_window()
+        window.launch()
+        window.write_register(REG_EXECUTE, 1)
+        with pytest.raises(ProtocolError):
+            window.launch()
+
+    def test_launch_validates_burst_size(self):
+        window = staged_window(size=0)
+        with pytest.raises(ProtocolError):
+            window.launch()
+        window = staged_window(size=513)
+        with pytest.raises(ProtocolError):
+            window.launch()
+
+    def test_erase_command_skips_size_check(self):
+        window = staged_window(command=CMD_ERASE, size=0)
+        command, _, _, payload = window.launch()
+        assert command == CMD_ERASE
+        assert payload == b""
+
+    def test_selective_erase_launches_like_program(self):
+        window = staged_window(command=CMD_SELECTIVE_ERASE, size=32)
+        command, _, size, _ = window.launch()
+        assert command == CMD_SELECTIVE_ERASE
+        assert size == 32
+
+    def test_complete_frees_the_window(self):
+        window = staged_window()
+        window.launch()
+        window.complete()
+        assert not window.busy
+        window.write_register(REG_EXECUTE, 1)
+        window.launch()  # can go again
+
+    def test_complete_without_launch_rejected(self):
+        with pytest.raises(ProtocolError):
+            OverlayWindow().complete()

@@ -1,0 +1,158 @@
+"""Tests for the statistics containers."""
+
+import math
+
+import pytest
+
+from repro.sim import Breakdown, Counter, Histogram, TimeSeries
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        counter = Counter("bytes")
+        counter.add(10)
+        counter.add(5)
+        assert counter.value == 15
+        assert counter.events == 2
+
+    def test_mean(self):
+        counter = Counter()
+        counter.add(4)
+        counter.add(8)
+        assert counter.mean == 6
+
+    def test_mean_of_empty_is_zero(self):
+        assert Counter().mean == 0.0
+
+
+class TestBreakdown:
+    def test_add_and_total(self):
+        bd = Breakdown("time")
+        bd.add("compute", 30.0)
+        bd.add("storage", 70.0)
+        bd.add("compute", 10.0)
+        assert bd.get("compute") == 40.0
+        assert bd.total == 110.0
+
+    def test_missing_category_reads_zero(self):
+        assert Breakdown().get("nope") == 0.0
+
+    def test_fractions_normalize(self):
+        bd = Breakdown()
+        bd.add("a", 1.0)
+        bd.add("b", 3.0)
+        fractions = bd.fractions()
+        assert fractions["a"] == pytest.approx(0.25)
+        assert fractions["b"] == pytest.approx(0.75)
+
+    def test_fractions_of_empty_breakdown(self):
+        assert Breakdown().fractions() == {}
+
+    def test_merge(self):
+        left, right = Breakdown(), Breakdown()
+        left.add("x", 1.0)
+        right.add("x", 2.0)
+        right.add("y", 5.0)
+        left.merge(right)
+        assert left.get("x") == 3.0
+        assert left.get("y") == 5.0
+
+    def test_scaled_returns_new_breakdown(self):
+        bd = Breakdown()
+        bd.add("a", 2.0)
+        doubled = bd.scaled(2.0)
+        assert doubled.get("a") == 4.0
+        assert bd.get("a") == 2.0
+
+    def test_categories_preserve_insertion_order(self):
+        bd = Breakdown()
+        for cat in ("z", "a", "m"):
+            bd.add(cat, 1.0)
+        assert bd.categories == ("z", "a", "m")
+
+
+class TestTimeSeries:
+    def test_value_at_is_a_step_function(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        ts.record(10.0, 3.0)
+        assert ts.value_at(-1.0) == 0.0
+        assert ts.value_at(0.0) == 1.0
+        assert ts.value_at(9.999) == 1.0
+        assert ts.value_at(10.0) == 3.0
+        assert ts.value_at(100.0) == 3.0
+
+    def test_record_rejects_time_travel(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 2.0)
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.record(0.0, 2.0)
+        ts.record(5.0, 4.0)
+        # [0,5): 2, [5,10): 4 -> mean 3
+        assert ts.time_weighted_mean(0.0, 10.0) == pytest.approx(3.0)
+
+    def test_time_weighted_mean_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().time_weighted_mean(5.0, 5.0)
+
+    def test_integral(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        assert ts.integral(0.0, 8.0) == pytest.approx(8.0)
+        assert ts.integral(8.0, 8.0) == 0.0
+
+    def test_resample_buckets(self):
+        ts = TimeSeries()
+        ts.record(0.0, 0.0)
+        ts.record(50.0, 10.0)
+        buckets = ts.resample(0.0, 100.0, 2)
+        assert buckets[0] == (25.0, pytest.approx(0.0))
+        assert buckets[1] == (75.0, pytest.approx(10.0))
+
+    def test_resample_needs_a_bucket(self):
+        with pytest.raises(ValueError):
+            TimeSeries().resample(0.0, 1.0, 0)
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        hist = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            hist.add(v)
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+
+    def test_empty_histogram_stats(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert math.isnan(hist.minimum)
+        assert math.isnan(hist.maximum)
+
+    def test_percentile_nearest_rank(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.add(float(v))
+        assert hist.percentile(0.5) == 50.0
+        assert hist.percentile(0.99) == 99.0
+        assert hist.percentile(1.0) == 100.0
+        assert hist.percentile(0.0) == 1.0
+
+    def test_percentile_validates_inputs(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.percentile(0.5)
+        hist.add(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_unsorted_inserts_still_sort(self):
+        hist = Histogram()
+        for v in (9.0, 1.0, 5.0):
+            hist.add(v)
+        assert hist.percentile(0.0) == 1.0
+        assert len(hist) == 3

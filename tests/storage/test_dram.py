@@ -1,0 +1,111 @@
+"""DRAM buffer tests: LRU residency, dirty tracking, port timing."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import DramBuffer
+
+
+def make_buffer(capacity_blocks=4, block=512):
+    sim = Simulator()
+    return sim, DramBuffer(sim, capacity_blocks * block, block, name="test")
+
+
+class TestResidency:
+    def test_lookup_miss_then_hit(self):
+        _, dram = make_buffer()
+        assert not dram.lookup(1)
+        dram.insert(1)
+        assert dram.lookup(1)
+        assert dram.hits == 1
+        assert dram.misses == 1
+
+    def test_lru_eviction_order(self):
+        _, dram = make_buffer(capacity_blocks=2)
+        dram.insert(1)
+        dram.insert(2)
+        dram.lookup(1)          # refresh block 1
+        evicted = dram.insert(3)
+        assert evicted == (2, False)
+
+    def test_insert_existing_block_does_not_evict(self):
+        _, dram = make_buffer(capacity_blocks=2)
+        dram.insert(1)
+        dram.insert(2)
+        assert dram.insert(1) is None
+        assert len(dram) == 2
+
+    def test_dirty_state_sticky_across_reinsert(self):
+        _, dram = make_buffer()
+        dram.insert(1, dirty=True)
+        dram.insert(1, dirty=False)
+        assert dram.dirty_blocks() == [1]
+
+    def test_mark_dirty(self):
+        _, dram = make_buffer()
+        dram.insert(5)
+        dram.mark_dirty(5)
+        assert dram.dirty_blocks() == [5]
+
+    def test_mark_dirty_requires_residency(self):
+        _, dram = make_buffer()
+        with pytest.raises(KeyError):
+            dram.mark_dirty(9)
+
+    def test_evicted_dirty_flag_reported(self):
+        _, dram = make_buffer(capacity_blocks=1)
+        dram.insert(1, dirty=True)
+        evicted = dram.insert(2)
+        assert evicted == (1, True)
+
+    def test_drop(self):
+        _, dram = make_buffer()
+        dram.insert(1, dirty=True)
+        dram.drop(1)
+        assert 1 not in dram
+        assert dram.dirty_blocks() == []
+
+
+class TestTiming:
+    def test_access_latency_plus_bandwidth(self):
+        sim, dram = make_buffer()
+
+        def driver():
+            yield from dram.access(512)
+
+        sim.process(driver())
+        sim.run()
+        assert sim.now == pytest.approx(50.0 + 512 / 12.8)
+
+    def test_port_serializes_accesses(self):
+        sim, dram = make_buffer()
+
+        def driver():
+            yield from dram.access(512)
+
+        sim.process(driver())
+        sim.process(driver())
+        sim.run()
+        assert sim.now == pytest.approx(2 * (50.0 + 512 / 12.8))
+
+    def test_access_size_validated(self):
+        sim, dram = make_buffer()
+
+        def driver():
+            with pytest.raises(ValueError):
+                yield from dram.access(0)
+
+        sim.process(driver())
+        sim.run()
+
+
+class TestValidation:
+    def test_capacity_must_hold_a_block(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DramBuffer(sim, 100, 512)
+
+    def test_block_size_positive(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DramBuffer(sim, 1024, 0)

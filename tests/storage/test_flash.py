@@ -1,0 +1,148 @@
+"""NAND flash die tests."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import FlashCellType, NandFlash
+from repro.storage.flash import PAGE_BYTES, PAGES_PER_BLOCK
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestLatencies:
+    def test_table1_read_latencies(self):
+        assert FlashCellType.SLC.read_ns == 25_000.0
+        assert FlashCellType.MLC.read_ns == 50_000.0
+        assert FlashCellType.TLC.read_ns == 80_000.0
+
+    def test_table1_program_latencies(self):
+        assert FlashCellType.SLC.program_ns == 300_000.0
+        assert FlashCellType.MLC.program_ns == 800_000.0
+        assert FlashCellType.TLC.program_ns == 1_250_000.0
+
+    def test_table1_erase_latencies(self):
+        assert FlashCellType.SLC.erase_ns == 2_000_000.0
+        assert FlashCellType.MLC.erase_ns == 3_500_000.0
+        assert FlashCellType.TLC.erase_ns == 2_274_000.0
+
+    def test_page_read_takes_cell_read_time(self):
+        sim = Simulator()
+        flash = NandFlash(sim, FlashCellType.SLC)
+        run(sim, flash.read_page(0))
+        assert sim.now == 25_000.0
+
+
+class TestProgramErase:
+    def test_program_then_read_roundtrip(self):
+        sim = Simulator()
+        flash = NandFlash(sim, FlashCellType.SLC)
+        payload = bytes([7]) * PAGE_BYTES
+
+        def driver():
+            yield from flash.program_page(3, payload)
+            data = yield from flash.read_page(3)
+            return data
+
+        assert run(sim, driver()) == payload
+
+    def test_no_overwrite_without_erase(self):
+        sim = Simulator()
+        flash = NandFlash(sim, FlashCellType.SLC)
+
+        def driver():
+            yield from flash.program_page(0, bytes(PAGE_BYTES))
+            with pytest.raises(ValueError):
+                yield from flash.program_page(0, bytes(PAGE_BYTES))
+
+        run(sim, driver())
+
+    def test_partial_page_program_rejected(self):
+        sim = Simulator()
+        flash = NandFlash(sim, FlashCellType.SLC)
+
+        def driver():
+            with pytest.raises(ValueError):
+                yield from flash.program_page(0, b"partial")
+
+        run(sim, driver())
+
+    def test_erase_clears_the_block(self):
+        sim = Simulator()
+        flash = NandFlash(sim, FlashCellType.SLC)
+
+        def driver():
+            yield from flash.program_page(1, bytes([9]) * PAGE_BYTES)
+            yield from flash.erase_block(0)
+            data = yield from flash.read_page(1)
+            return data
+
+        assert run(sim, driver()) == bytes(PAGE_BYTES)
+        assert flash.blocks_erased == 1
+
+    def test_erase_only_touches_its_block(self):
+        sim = Simulator()
+        flash = NandFlash(sim, FlashCellType.SLC)
+        other = PAGES_PER_BLOCK  # first page of block 1
+
+        def driver():
+            yield from flash.program_page(other, bytes([9]) * PAGE_BYTES)
+            yield from flash.erase_block(0)
+            data = yield from flash.read_page(other)
+            return data
+
+        assert run(sim, driver()) == bytes([9]) * PAGE_BYTES
+
+
+class TestParallelism:
+    def test_reads_beyond_parallelism_queue(self):
+        sim = Simulator()
+        flash = NandFlash(sim, FlashCellType.SLC, parallelism=2)
+
+        def reader(page):
+            yield from flash.read_page(page)
+
+        for page in range(4):
+            sim.process(reader(page))
+        sim.run()
+        # 4 reads, 2 planes -> two waves of 25 us.
+        assert sim.now == 50_000.0
+
+    def test_parallelism_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NandFlash(Simulator(), FlashCellType.SLC, parallelism=0)
+
+    def test_counters(self):
+        sim = Simulator()
+        flash = NandFlash(sim, FlashCellType.SLC)
+
+        def driver():
+            yield from flash.program_page(0, bytes(PAGE_BYTES))
+            yield from flash.read_page(0)
+
+        run(sim, driver())
+        assert flash.pages_programmed == 1
+        assert flash.pages_read == 1
+
+
+class TestPeekPoke:
+    def test_poke_then_peek(self):
+        flash = NandFlash(Simulator(), FlashCellType.TLC)
+        flash.poke(5, bytes([1]) * PAGE_BYTES)
+        assert flash.peek(5) == bytes([1]) * PAGE_BYTES
+        assert flash.is_programmed(5)
+
+    def test_poke_validates_size(self):
+        flash = NandFlash(Simulator(), FlashCellType.TLC)
+        with pytest.raises(ValueError):
+            flash.poke(0, b"small")
+
+    def test_negative_page_rejected(self):
+        flash = NandFlash(Simulator(), FlashCellType.SLC)
+        with pytest.raises(ValueError):
+            flash.peek(-1)

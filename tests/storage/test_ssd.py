@@ -1,0 +1,178 @@
+"""Emulated SSD tests: FTL, buffer behaviour, read-modify-write."""
+
+import pytest
+
+from repro.energy import EnergyAccount
+from repro.sim import Simulator
+from repro.storage import EmulatedSsd, FlashCellType
+from repro.storage.flash import PAGE_BYTES
+from repro.storage.ssd import SSD_COMMAND_NS
+
+
+def make_ssd(buffer_pages=4, cell=FlashCellType.SLC, energy=None):
+    sim = Simulator()
+    ssd = EmulatedSsd(sim, cell_type=cell,
+                      buffer_bytes=buffer_pages * PAGE_BYTES,
+                      energy=energy)
+    return sim, ssd
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestFunctional:
+    def test_write_read_roundtrip(self):
+        sim, ssd = make_ssd()
+        payload = bytes(range(256)) * 2
+
+        def driver():
+            yield from ssd.write(1000, payload)
+            data = yield from ssd.read(1000, len(payload))
+            return data
+
+        assert run(sim, driver()) == payload
+
+    def test_preload_then_read(self):
+        sim, ssd = make_ssd()
+        ssd.preload(0, b"\xAA" * 100)
+
+        def driver():
+            data = yield from ssd.read(0, 100)
+            return data
+
+        assert run(sim, driver()) == b"\xAA" * 100
+
+    def test_unwritten_reads_zero(self):
+        sim, ssd = make_ssd()
+
+        def driver():
+            data = yield from ssd.read(0, 64)
+            return data
+
+        assert run(sim, driver()) == bytes(64)
+
+    def test_cross_page_write(self):
+        sim, ssd = make_ssd()
+        payload = bytes([3]) * (PAGE_BYTES + 100)
+
+        def driver():
+            yield from ssd.write(PAGE_BYTES - 50, payload)
+            data = yield from ssd.read(PAGE_BYTES - 50, len(payload))
+            return data
+
+        assert run(sim, driver()) == payload
+
+    def test_overwrite_remaps_not_erases_inline(self):
+        sim, ssd = make_ssd(buffer_pages=1)
+        full = bytes([1]) * PAGE_BYTES
+
+        def driver():
+            yield from ssd.write(0, full)
+            yield from ssd.flush()
+            yield from ssd.write(0, bytes([2]) * PAGE_BYTES)
+            yield from ssd.flush()
+            data = yield from ssd.read(0, PAGE_BYTES)
+            return data
+
+        assert run(sim, driver()) == bytes([2]) * PAGE_BYTES
+        assert ssd.flash.pages_programmed == 2
+        assert ssd.flash.blocks_erased == 0  # amortized, not inline
+
+    def test_flush_persists_dirty_pages(self):
+        sim, ssd = make_ssd()
+        payload = bytes([5]) * PAGE_BYTES
+
+        def driver():
+            yield from ssd.write(0, payload)
+            yield from ssd.flush()
+
+        run(sim, driver())
+        assert ssd.inspect(0, PAGE_BYTES) == payload
+
+
+class TestTimingBehaviour:
+    def test_buffer_hit_avoids_flash(self):
+        sim, ssd = make_ssd()
+        ssd.preload(0, bytes([1]) * 64)  # map the page so flash is hit
+
+        def driver():
+            yield from ssd.read(0, 64)      # miss: flash read
+            t_after_miss = sim.now
+            yield from ssd.read(0, 64)      # hit: buffer only
+            return t_after_miss, sim.now
+
+        t_miss, t_total = run(sim, driver())
+        assert t_miss >= FlashCellType.SLC.read_ns
+        assert (t_total - t_miss) < FlashCellType.SLC.read_ns
+        assert ssd.flash.pages_read == 1
+
+    def test_sub_page_write_pays_read_modify_write(self):
+        sim, ssd = make_ssd()
+        ssd.preload(0, bytes([1]) * 64)  # page exists on flash
+
+        def driver():
+            yield from ssd.write(0, b"tiny")
+
+        run(sim, driver())
+        # The RMW pulled the page from flash first.
+        assert ssd.flash.pages_read == 1
+
+    def test_full_page_write_skips_rmw(self):
+        sim, ssd = make_ssd()
+
+        def driver():
+            yield from ssd.write(0, bytes(PAGE_BYTES))
+
+        run(sim, driver())
+        assert ssd.flash.pages_read == 0
+
+    def test_command_overhead_charged(self):
+        sim, ssd = make_ssd()
+        ssd.preload(0, bytes([1]) * 32)
+
+        def driver():
+            yield from ssd.read(0, 32)
+
+        run(sim, driver())
+        assert ssd.commands == 1
+        assert sim.now >= SSD_COMMAND_NS + FlashCellType.SLC.read_ns
+
+    def test_dirty_eviction_programs_flash(self):
+        sim, ssd = make_ssd(buffer_pages=1)
+
+        def driver():
+            yield from ssd.write(0, bytes([1]) * PAGE_BYTES)
+            yield from ssd.write(PAGE_BYTES, bytes([2]) * PAGE_BYTES)
+
+        run(sim, driver())
+        assert ssd.flash.pages_programmed == 1  # page 0 evicted dirty
+
+
+class TestEnergy:
+    def test_flash_and_controller_energy_charged(self):
+        energy = EnergyAccount()
+        sim, ssd = make_ssd(energy=energy)
+
+        def driver():
+            yield from ssd.write(0, bytes(PAGE_BYTES))
+            yield from ssd.flush()
+            yield from ssd.read(PAGE_BYTES, 32)
+
+        run(sim, driver())
+        categories = energy.by_category()
+        assert categories["storage"] > 0
+        assert categories["dram"] > 0
+
+    def test_bad_range_rejected(self):
+        sim, ssd = make_ssd()
+
+        def driver():
+            with pytest.raises(ValueError):
+                yield from ssd.read(-1, 10)
+
+        run(sim, driver())

@@ -1,0 +1,29 @@
+"""Shared fixtures for system-level tests: small, fast bundles."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig
+from repro.systems import SystemConfig
+from repro.workloads import generate_traces, workload
+
+#: Small caches so even tiny test footprints exercise the memory path.
+TEST_ACCEL = AcceleratorConfig(l1_bytes=1024, l2_bytes=4096)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return SystemConfig(accelerator=TEST_ACCEL)
+
+
+@pytest.fixture(scope="session")
+def read_bundle():
+    """A small read-leaning bundle (gemver)."""
+    return generate_traces(workload("gemver"), agents=3, scale=0.05,
+                           seed=3, rounds=2)
+
+
+@pytest.fixture(scope="session")
+def write_bundle():
+    """A small write-heavy bundle (doitg)."""
+    return generate_traces(workload("doitg"), agents=3, scale=0.05,
+                           seed=3, rounds=2)

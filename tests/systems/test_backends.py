@@ -1,0 +1,250 @@
+"""Unit tests for the MemoryBackend implementations."""
+
+import pytest
+
+from repro.controller import PramSubsystem, SchedulerPolicy
+from repro.energy import EnergyAccount
+from repro.host import HostCpu, PcieLink, PeerToPeerDma
+from repro.sim import Simulator
+from repro.storage import EmulatedSsd, FlashCellType
+from repro.storage.flash import PAGE_BYTES
+from repro.systems.backends import (
+    BLOCK_BYTES,
+    DramBackend,
+    HostSsdBackend,
+    NorBackend,
+    PageBufferBackend,
+    PramBackend,
+    SsdAdapterBackend,
+)
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def energy():
+    return EnergyAccount()
+
+
+class TestDramBackend:
+    def test_roundtrip(self, sim, energy):
+        backend = DramBackend(sim, energy)
+        payload = bytes(range(64))
+
+        def driver():
+            yield from backend.write_block(100, payload)
+            data = yield from backend.read_block(100, 64)
+            return data
+
+        assert run(sim, driver()) == payload
+        assert energy.by_category()["dram"] > 0
+
+    def test_preload_inspect(self, sim, energy):
+        backend = DramBackend(sim, energy)
+        backend.preload(0, b"abc")
+        assert backend.inspect(0, 3) == b"abc"
+        assert backend.inspect(3, 2) == bytes(2)
+
+
+def make_host_backend(sim, energy, capacity_blocks=8):
+    cpu = HostCpu(sim, energy=energy)
+    ssd = EmulatedSsd(sim, cell_type=FlashCellType.SLC,
+                      buffer_bytes=4 * PAGE_BYTES)
+    link = PcieLink(sim)
+    mover = PeerToPeerDma(sim, cpu, ssd, link)
+    return HostSsdBackend(sim, energy, mover,
+                          capacity_bytes=capacity_blocks * BLOCK_BYTES)
+
+
+class TestHostSsdBackend:
+    def test_miss_faults_with_readahead(self, sim, energy):
+        backend = make_host_backend(sim, energy)
+        backend.preload(0, bytes([7]) * 8 * BLOCK_BYTES)
+
+        def driver():
+            data = yield from backend.read_block(0, 64)
+            return data
+
+        assert run(sim, driver()) == bytes([7]) * 64
+        # One fault pulled the whole readahead window.
+        assert backend.ssd_reads == 1
+        for block in range(HostSsdBackend.READAHEAD_BLOCKS):
+            assert block in backend.dram
+
+    def test_resident_read_skips_ssd(self, sim, energy):
+        backend = make_host_backend(sim, energy)
+        backend.preload(0, bytes([9]) * BLOCK_BYTES)
+
+        def driver():
+            yield from backend.read_block(0, 32)
+            before = backend.ssd_reads
+            yield from backend.read_block(32, 32)
+            return before
+
+        before = run(sim, driver())
+        assert backend.ssd_reads == before  # second read was a hit
+
+    def test_write_then_flush_persists(self, sim, energy):
+        backend = make_host_backend(sim, energy)
+        payload = bytes([3]) * BLOCK_BYTES
+
+        def driver():
+            yield from backend.write_block(0, payload)
+            yield from backend.flush()
+            yield from backend.mover.ssd.flush()
+
+        run(sim, driver())
+        assert backend.mover.ssd.inspect(0, BLOCK_BYTES) == payload
+
+    def test_flush_coalesces_contiguous_blocks(self, sim, energy):
+        backend = make_host_backend(sim, energy, capacity_blocks=16)
+
+        def driver():
+            for block in range(4):  # contiguous dirty run
+                yield from backend.write_block(block * BLOCK_BYTES,
+                                               bytes([1]) * BLOCK_BYTES)
+            yield from backend.write_block(10 * BLOCK_BYTES,
+                                           bytes([2]) * BLOCK_BYTES)
+            yield from backend.flush()
+
+        run(sim, driver())
+        # 5 dirty blocks -> 2 extents (one run of 4, one singleton).
+        assert backend.ssd_writes == 2
+
+    def test_dirty_eviction_writes_back(self, sim, energy):
+        backend = make_host_backend(sim, energy, capacity_blocks=1)
+
+        def driver():
+            yield from backend.write_block(0, bytes([1]) * BLOCK_BYTES)
+            yield from backend.write_block(BLOCK_BYTES,
+                                           bytes([2]) * BLOCK_BYTES)
+            yield from backend.mover.ssd.flush()
+
+        run(sim, driver())
+        assert backend.mover.ssd.inspect(0, BLOCK_BYTES) == (
+            bytes([1]) * BLOCK_BYTES)
+
+    def test_stage_input_respects_capacity(self, sim, energy):
+        backend = make_host_backend(sim, energy, capacity_blocks=4)
+        backend.preload(0, bytes([5]) * 64 * BLOCK_BYTES)
+
+        def driver():
+            yield from backend.stage_input(0, 64 * BLOCK_BYTES)
+
+        run(sim, driver())
+        assert len(backend.dram) <= 4
+
+
+class TestSsdAdapterBackend:
+    def test_roundtrip_and_invalidate(self, sim, energy):
+        ssd = EmulatedSsd(sim, cell_type=FlashCellType.SLC,
+                          buffer_bytes=4 * PAGE_BYTES, energy=energy)
+        backend = SsdAdapterBackend(sim, energy, ssd)
+        payload = bytes([4]) * BLOCK_BYTES
+
+        def driver():
+            yield from backend.write_block(0, payload)
+            yield from backend.flush()
+            backend.invalidate_buffer()
+            data = yield from backend.read_block(0, BLOCK_BYTES)
+            return data
+
+        assert run(sim, driver()) == payload
+        # After invalidation the read re-touched flash.
+        assert ssd.flash.pages_read >= 1
+
+
+class TestPageBufferBackend:
+    def test_roundtrip(self, sim, energy):
+        backend = PageBufferBackend(sim, energy)
+        payload = bytes(range(256)) * 2
+
+        def driver():
+            yield from backend.write_block(0, payload)
+            data = yield from backend.read_block(0, len(payload))
+            return data
+
+        assert run(sim, driver()) == payload
+
+    def test_read_moves_whole_pages(self, sim, energy):
+        backend = PageBufferBackend(sim, energy)
+        backend.preload(0, bytes([1]) * backend.PAGE_BYTES)
+
+        def driver():
+            yield from backend.read_block(0, 32)
+
+        run(sim, driver())
+        assert backend.pages_read == 1  # 32 B wanted, 16 KB moved
+
+    def test_flush_then_invalidate_forces_refetch(self, sim, energy):
+        backend = PageBufferBackend(sim, energy)
+
+        def driver():
+            yield from backend.write_block(0, bytes([2]) * BLOCK_BYTES)
+            yield from backend.flush()
+            backend.invalidate_buffer()
+            yield from backend.read_block(0, 32)
+
+        run(sim, driver())
+        assert backend.pages_written == 1
+        assert backend.pages_read >= 1
+
+    def test_invalidate_with_dirty_pages_raises(self, sim, energy):
+        backend = PageBufferBackend(sim, energy)
+
+        def driver():
+            yield from backend.write_block(0, bytes([2]) * BLOCK_BYTES)
+
+        run(sim, driver())
+        with pytest.raises(RuntimeError):
+            backend.invalidate_buffer()
+
+
+class TestNorBackend:
+    def test_roundtrip(self, sim, energy):
+        backend = NorBackend(sim, energy)
+        payload = bytes(range(100))
+
+        def driver():
+            yield from backend.write_block(50, payload)
+            data = yield from backend.read_block(50, len(payload))
+            return data
+
+        assert run(sim, driver()) == payload
+
+
+class TestPramBackend:
+    def test_roundtrip(self, sim, energy):
+        backend = PramBackend(sim, energy,
+                              PramSubsystem(sim,
+                                            policy=SchedulerPolicy.FINAL))
+        payload = bytes(range(BLOCK_BYTES % 256)) or b"\x01"
+        payload = bytes([6]) * BLOCK_BYTES
+
+        def driver():
+            yield from backend.write_block(0, payload)
+            data = yield from backend.read_block(0, BLOCK_BYTES)
+            return data
+
+        assert run(sim, driver()) == payload
+        assert energy.by_category()["pram"] > 0
+
+    def test_announce_writes_feeds_hint_store(self, sim, energy):
+        subsystem = PramSubsystem(sim, policy=SchedulerPolicy.FINAL)
+        backend = PramBackend(sim, energy, subsystem)
+        backend.preload(0, bytes([1]) * BLOCK_BYTES)
+        backend.announce_writes(0, BLOCK_BYTES)
+        sim.run()  # lets the background drain complete
+        counts = subsystem.operation_counts()
+        assert counts["resets"] > 0

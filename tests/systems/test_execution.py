@@ -1,0 +1,168 @@
+"""End-to-end system runs: invariants and paper-shape orderings."""
+
+import pytest
+
+from repro.systems import SYSTEM_NAMES, build_system
+from repro.workloads.trace import BLOCK_BYTES
+
+
+@pytest.fixture(scope="module")
+def results(config, read_bundle):
+    """One run of every system on the read bundle (shared, expensive)."""
+    return {name: build_system(name, config).run(read_bundle)
+            for name in SYSTEM_NAMES + ("Ideal",)}
+
+
+class TestResultInvariants:
+    def test_positive_time_and_bandwidth(self, results):
+        for name, result in results.items():
+            assert result.total_ns > 0, name
+            assert result.bandwidth_mb_s > 0, name
+
+    def test_phases_sum_to_total(self, results):
+        for name, result in results.items():
+            assert sum(result.phase_ns.values()) == pytest.approx(
+                result.total_ns, rel=1e-6), name
+
+    def test_time_breakdown_sums_to_total(self, results):
+        for name, result in results.items():
+            assert result.time_breakdown.total == pytest.approx(
+                result.total_ns, rel=1e-6), name
+
+    def test_energy_positive_with_pe_charges(self, results):
+        for name, result in results.items():
+            categories = result.energy.by_category()
+            assert result.energy.total_nj > 0, name
+            assert categories.get("pe_compute", 0) > 0, name
+
+    def test_bytes_processed_counts_rounds(self, results, read_bundle):
+        per_round = read_bundle.input_bytes + read_bundle.output_bytes
+        expected = per_round * read_bundle.round_count
+        for result in results.values():
+            assert result.bytes_processed == expected
+
+    def test_instructions_executed(self, results):
+        for name, result in results.items():
+            assert result.accel_stats.instructions > 0, name
+
+    def test_runs_are_deterministic(self, config, read_bundle):
+        first = build_system("DRAM-less", config).run(read_bundle)
+        second = build_system("DRAM-less", config).run(read_bundle)
+        assert first.total_ns == second.total_ns
+        assert first.energy.total_nj == second.energy.total_nj
+
+
+class TestPaperShapeOrderings:
+    """The qualitative claims of Figures 15-17 on a read workload."""
+
+    def test_ideal_is_fastest(self, results):
+        ideal = results["Ideal"].bandwidth_mb_s
+        for name in SYSTEM_NAMES:
+            assert ideal > results[name].bandwidth_mb_s, name
+
+    def test_dramless_beats_every_evaluated_system(self, results):
+        best = results["DRAM-less"].bandwidth_mb_s
+        for name in SYSTEM_NAMES[:-1]:
+            assert best > results[name].bandwidth_mb_s, name
+
+    def test_heterodirect_beats_hetero(self, results):
+        assert (results["Heterodirect"].bandwidth_mb_s
+                > results["Hetero"].bandwidth_mb_s)
+
+    def test_p2p_dma_saves_host_energy(self, results):
+        hetero = results["Hetero"].energy.by_category()
+        direct = results["Heterodirect"].energy.by_category()
+        assert direct["host"] < hetero["host"]
+
+    def test_hardware_automation_beats_firmware(self, results):
+        assert (results["DRAM-less"].bandwidth_mb_s
+                > results["DRAM-less (firmware)"].bandwidth_mb_s)
+
+    def test_flash_grades_order_slc_mlc_tlc(self, results):
+        assert (results["Integrated-SLC"].bandwidth_mb_s
+                > results["Integrated-MLC"].bandwidth_mb_s
+                > results["Integrated-TLC"].bandwidth_mb_s)
+
+    def test_dramless_energy_well_below_heterogeneous(self, results):
+        # Figure 17 / abstract: ~19% of the advanced accelerated
+        # systems' energy; allow a generous band for the model.
+        ratio = (results["DRAM-less"].energy_mj
+                 / results["Heterodirect"].energy_mj)
+        assert ratio < 0.6
+
+    def test_hetero_spends_most_energy_on_host(self, results):
+        categories = results["Hetero"].energy.by_category()
+        assert categories["host"] == max(categories.values())
+
+    def test_dramless_has_no_host_energy(self, results):
+        categories = results["DRAM-less"].energy.by_category()
+        assert categories.get("host", 0.0) == 0.0
+        assert categories.get("pram", 0.0) > 0.0
+
+    def test_hetero_time_dominated_by_data_movement(self, results):
+        breakdown = results["Hetero"].time_breakdown
+        movement = (breakdown.get("data_preparation")
+                    + breakdown.get("output_writeback")
+                    + breakdown.get("memory_stall")
+                    + breakdown.get("store_stall"))
+        assert movement > breakdown.get("computation")
+
+
+class TestWriteHeavyShape:
+    def test_selective_erasing_helps_write_heavy(self, config,
+                                                 write_bundle):
+        from repro.controller import SchedulerPolicy
+        from repro.systems.pram_accel import DramlessSystem
+
+        final = DramlessSystem(config).run(write_bundle)
+        bare = DramlessSystem(
+            config, policy=SchedulerPolicy.BARE_METAL).run(write_bundle)
+        assert final.bandwidth_mb_s > bare.bandwidth_mb_s
+
+    def test_pram_ssd_worse_than_flash_ssd_for_writes(self, config,
+                                                      write_bundle):
+        # Section VI-B: block-sized writes make the PRAM-SSD variants
+        # slightly worse than the flash ones on write-heavy loads.
+        flash = build_system("Hetero", config).run(write_bundle)
+        pram = build_system("Hetero-PRAM", config).run(write_bundle)
+        assert pram.bandwidth_mb_s < flash.bandwidth_mb_s * 1.1
+
+
+class TestFunctionalOutput:
+    def test_outputs_land_in_backend_memory(self, config, read_bundle):
+        from repro.systems.pram_accel import DramlessSystem
+
+        system = DramlessSystem(config)
+        captured = {}
+        original_build = system._build
+
+        def build(sim, energy, bundle):
+            backend = original_build(sim, energy, bundle)
+            captured["backend"] = backend
+            return backend
+
+        system._build = build
+        system.run(read_bundle)
+        address, size = read_bundle.output_region
+        data = captured["backend"].inspect(address, size)
+        # Agents write a (pe_id + 1) fill pattern: the region must be
+        # fully non-zero after the run.
+        assert all(byte != 0 for byte in data)
+
+    def test_inputs_preloaded_nonzero(self, config, read_bundle):
+        from repro.systems.hetero import IdealSystem
+
+        system = IdealSystem(config)
+        captured = {}
+        original_build = system._build
+
+        def build(sim, energy, bundle):
+            backend = original_build(sim, energy, bundle)
+            captured["backend"] = backend
+            return backend
+
+        system._build = build
+        system.run(read_bundle)
+        address, size = read_bundle.input_region
+        sample = captured["backend"].inspect(address, BLOCK_BYTES)
+        assert any(byte != 0 for byte in sample)

@@ -1,0 +1,55 @@
+"""Registry and Table I attribute tests."""
+
+import pytest
+
+from repro.systems import SYSTEM_NAMES, SystemConfig, build_system
+
+
+class TestRegistry:
+    def test_ten_evaluated_systems_plus_firmware(self):
+        assert len(SYSTEM_NAMES) == 11
+        assert SYSTEM_NAMES[0] == "Hetero"
+        assert SYSTEM_NAMES[-1] == "DRAM-less"
+
+    def test_build_every_named_system(self):
+        for name in SYSTEM_NAMES + ("Ideal",):
+            system = build_system(name)
+            assert system.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown system"):
+            build_system("SRAM-less")
+
+    def test_config_threads_through(self):
+        config = SystemConfig(dram_fraction=0.5)
+        system = build_system("Hetero", config)
+        assert system.config.dram_fraction == 0.5
+
+
+class TestTable1Attributes:
+    """The Heterogeneous / Internal DRAM rows of Table I."""
+
+    def test_heterogeneous_row(self):
+        hetero = {"Hetero", "Heterodirect", "Hetero-PRAM",
+                  "Heterodirect-PRAM"}
+        for name in SYSTEM_NAMES:
+            assert build_system(name).heterogeneous == (name in hetero)
+
+    def test_internal_dram_row(self):
+        # Table I: NOR-intf and DRAM-less have no internal DRAM.
+        dramless = {"NOR-intf", "DRAM-less", "DRAM-less (firmware)"}
+        for name in SYSTEM_NAMES:
+            assert build_system(name).has_internal_dram == (
+                name not in dramless)
+
+    def test_host_coordination(self):
+        # Only the DRAM-less family self-schedules kernel rounds.
+        for name in SYSTEM_NAMES:
+            expected = not name.startswith("DRAM-less")
+            assert build_system(name).host_coordinated == expected
+
+    def test_dram_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(dram_fraction=0.0)
+        with pytest.raises(ValueError):
+            SystemConfig(dram_fraction=1.5)
