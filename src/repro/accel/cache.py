@@ -58,8 +58,8 @@ class BlockCache:
         self.misses += 1
         return False
 
-    def insert(self, block: int, dirty: bool = False) -> typing.Optional[
-            typing.Tuple[int, bool]]:
+    def insert(self, block: int, dirty: bool = False
+               ) -> typing.Tuple[int, bool] | None:
         """Install a block; returns evicted ``(block, dirty)`` if any."""
         evicted = None
         if block not in self._blocks and (

@@ -1,0 +1,63 @@
+"""Static and dynamic invariant checking for the DRAM-less reproduction.
+
+Three pillars, each usable on its own:
+
+* :mod:`repro.analysis.lint` — an AST lint pass with simulator-specific
+  rules (``SIM001``–``SIM005``) that catch the cheap-to-ship,
+  expensive-to-debug bug classes of a hand-rolled discrete-event
+  kernel: nondeterminism, illegal yields, negative latencies, shared
+  mutable defaults, and unguarded cross-``yield`` state mutation.
+* :mod:`repro.analysis.conformance` — an explicit state machine for the
+  LPDDR2-NVM three-phase addressing protocol (pre-active → activate →
+  read/write) that validates controller command sequences, including
+  the legality of RAB/RDB phase skips.  Works offline over recorded
+  traces and as an opt-in runtime assertion layer inside
+  :mod:`repro.controller`.
+* :mod:`repro.analysis.determinism` — a harness that runs a workload
+  twice and diffs the kernel's event traces, also exposed as the
+  ``@pytest.mark.determinism`` marker via
+  :mod:`repro.analysis.pytest_plugin`.
+
+Command line: ``python -m repro.analysis [paths ...]`` lints a source
+tree, ``python -m repro.analysis --trace FILE`` replays a recorded
+command trace through the conformance checker.
+"""
+
+from repro.analysis.conformance import (
+    Command,
+    CommandRecord,
+    ProtocolChecker,
+    ProtocolViolationError,
+    Violation,
+    check_trace,
+    load_trace,
+    save_trace,
+)
+from repro.analysis.determinism import (
+    DeterminismError,
+    assert_deterministic,
+    capture_trace,
+    diff_traces,
+    trace_of,
+)
+from repro.analysis.lint import LintViolation, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Command",
+    "CommandRecord",
+    "DeterminismError",
+    "LintViolation",
+    "ProtocolChecker",
+    "ProtocolViolationError",
+    "Violation",
+    "assert_deterministic",
+    "capture_trace",
+    "check_trace",
+    "diff_traces",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_trace",
+    "save_trace",
+    "trace_of",
+]

@@ -1,0 +1,79 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Two modes:
+
+* ``python -m repro.analysis [PATH ...]`` — run the SIM lint rules over
+  files/directories (default: ``src/repro``).  Exits 1 if any
+  violation is found.
+* ``python -m repro.analysis --trace FILE`` — replay a JSON-lines
+  command trace (see :func:`repro.analysis.conformance.save_trace`)
+  through the three-phase protocol conformance checker.  Exits 1 if
+  the trace is not conformant.
+
+Both modes support ``--format json`` for machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import typing
+
+from repro.analysis.conformance import check_trace, load_trace
+from repro.analysis.lint import lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Simulator invariant checks: SIM lint rules and "
+                    "LPDDR2-NVM protocol conformance.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="replay a JSON-lines command trace through the "
+             "three-phase conformance checker instead of linting")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.trace is not None:
+        violations = check_trace(load_trace(args.trace))
+        if args.format == "json":
+            payload = [
+                {"reason": v.reason, "record": v.record.to_dict()}
+                for v in violations
+            ]
+            print(json.dumps(payload, indent=2))
+        else:
+            for violation in violations:
+                print(violation)
+            print(f"{len(violations)} protocol violation(s) in "
+                  f"{args.trace}")
+        return 1 if violations else 0
+
+    paths = args.paths or ["src/repro"]
+    findings = lint_paths(paths)
+    if args.format == "json":
+        print(json.dumps([dataclasses.asdict(f) for f in findings],
+                         indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+        print(f"{len(findings)} violation(s) in {', '.join(paths)}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,382 @@
+"""AST lint pass with simulator-specific rules.
+
+The discrete-event kernel in :mod:`repro.sim` gives device models a lot
+of rope: any generator can become a process, any float can become a
+latency, and any shared attribute can be mutated between two ``yield``
+points.  These rules mechanically check the conventions the codebase
+relies on:
+
+``SIM001``
+    No wall-clock or ambient randomness inside device models.
+    Importing ``time`` or ``datetime``, or calling module-level
+    ``random`` functions (``random.random()``, ``random.shuffle()``,
+    ...) makes simulations irreproducible.  Seeded generator instances
+    (``random.Random(seed)``) are the sanctioned escape hatch.
+
+``SIM002``
+    Process generators may only yield :class:`~repro.sim.event.Event`
+    subclasses.  A generator counts as a process body when any of its
+    yields is a kernel event-factory call (``sim.timeout(...)``,
+    ``sim.process(...)``, ``resource.request()``, ...).  In such a
+    generator, yields of literals, arithmetic, comparisons, or bare
+    ``yield`` are certain ``TypeError``\\ s at run time — the kernel
+    rejects non-Event yields — so they are flagged statically.  Plain
+    data generators (``yield row, offset, size``) are exempt.
+
+``SIM003``
+    Negative or non-numeric latencies passed to ``timeout()`` /
+    ``_schedule()``.  A negative delay would travel backwards in time;
+    a string or ``None`` is a unit error caught only deep in the heap.
+
+``SIM004``
+    Mutable default arguments (literals or ``list()`` / ``dict()`` /
+    ``set()`` / ``bytearray()`` / ``collections.deque()`` calls).
+    Defaults are evaluated once; device models sharing one hidden list
+    across instances is a classic aliasing bug.
+
+``SIM005``
+    Heuristic race detector for DES processes: a generator that reads
+    ``self.<attr>`` into a local, yields (other processes run), and
+    then writes that stale local back into the same ``self.<attr>``
+    without having acquired a :class:`~repro.sim.resource.Resource`
+    (no ``.request()``/``.use()`` in the function) loses concurrent
+    updates.  Mutating ``global`` state from a process generator is
+    flagged unconditionally.  Atomic read-modify-writes
+    (``self.count += 1``) never span a yield and are exempt.
+
+A trailing ``# noqa: SIMxxx`` comment suppresses a rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+import typing
+from pathlib import Path
+
+#: Modules whose mere import into simulation code breaks determinism
+#: or reproducibility (wall clock, host entropy).
+_WALLCLOCK_MODULES = frozenset({"time", "datetime"})
+
+#: The one attribute of :mod:`random` device models may touch: seeded
+#: generator construction.
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random"})
+
+#: Constructor calls that produce a fresh mutable object — evaluated
+#: once when used as a default argument.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+_MUTABLE_QUALIFIED_CALLS = frozenset({"deque", "defaultdict", "OrderedDict"})
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintViolation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _noqa_codes(source_line: str) -> typing.FrozenSet[str] | None:
+    """Codes suppressed on this line; empty frozenset = suppress all."""
+    match = _NOQA_RE.search(source_line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return frozenset()
+    return frozenset(code.strip().upper() for code in codes.split(","))
+
+
+class _Collector:
+    """Accumulates violations, honouring per-line ``# noqa`` comments."""
+
+    def __init__(self, path: str, source_lines: typing.Sequence[str]) -> None:
+        self.path = path
+        self._lines = source_lines
+        self.violations: typing.List[LintViolation] = []
+
+    def add(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self._lines):
+            suppressed = _noqa_codes(self._lines[line - 1])
+            if suppressed is not None and (
+                    not suppressed or code in suppressed):
+                return
+        self.violations.append(LintViolation(self.path, line, code, message))
+
+
+def _own_nodes(func: ast.AST) -> typing.Iterator[ast.AST]:
+    """Nodes of ``func`` excluding nested function/lambda bodies."""
+    stack: typing.List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(func: ast.AST) -> bool:
+    """Does this function definition contain a yield of its own?"""
+    return any(isinstance(node, (ast.Yield, ast.YieldFrom))
+               for node in _own_nodes(func))
+
+
+# ----------------------------------------------------------------------
+# Individual rules
+# ----------------------------------------------------------------------
+def _check_sim001(tree: ast.Module, out: _Collector) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _WALLCLOCK_MODULES:
+                    out.add(node, "SIM001",
+                            f"import of wall-clock module {root!r} breaks "
+                            "simulation determinism")
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in _WALLCLOCK_MODULES:
+                out.add(node, "SIM001",
+                        f"import from wall-clock module {root!r} breaks "
+                        "simulation determinism")
+            elif root == "random":
+                names = ", ".join(alias.name for alias in node.names)
+                out.add(node, "SIM001",
+                        f"'from random import {names}' uses the shared "
+                        "unseeded generator; construct random.Random(seed)")
+        elif isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "random"
+                    and node.attr not in _ALLOWED_RANDOM_ATTRS):
+                out.add(node, "SIM001",
+                        f"random.{node.attr} draws from the shared unseeded "
+                        "generator; use a seeded random.Random instance")
+
+
+#: Kernel factory methods whose results are Events; a generator that
+#: yields one of these calls is (heuristically) a process body.
+_EVENT_FACTORIES = frozenset({
+    "timeout", "process", "all_of", "any_of", "event", "request",
+    "put", "get",
+})
+
+
+def _is_process_generator(func: ast.AST) -> bool:
+    for node in _own_nodes(func):
+        if not isinstance(node, ast.Yield) or node.value is None:
+            continue
+        value = node.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in _EVENT_FACTORIES):
+            return True
+    return False
+
+
+def _check_sim002(func: ast.AST, out: _Collector) -> None:
+    if not _is_process_generator(func):
+        return
+    for node in _own_nodes(func):
+        if not isinstance(node, ast.Yield):
+            continue
+        value = node.value
+        if value is None:
+            out.add(node, "SIM002",
+                    "bare 'yield' sends None to the kernel; processes may "
+                    "only yield Event instances")
+        elif isinstance(value, (ast.Constant, ast.List, ast.Tuple, ast.Dict,
+                                ast.Set, ast.JoinedStr, ast.BinOp,
+                                ast.Compare, ast.BoolOp)):
+            out.add(node, "SIM002",
+                    f"yield of {type(value).__name__} can never be an "
+                    "Event; processes may only yield Event instances")
+
+
+def _negative_or_nonnumeric(arg: ast.expr) -> str | None:
+    if isinstance(arg, ast.UnaryOp) and isinstance(arg.op, ast.USub):
+        operand = arg.operand
+        if (isinstance(operand, ast.Constant)
+                and isinstance(operand.value, (int, float))
+                and not isinstance(operand.value, bool)):
+            return f"negative latency -{operand.value!r}"
+    if isinstance(arg, ast.Constant):
+        value = arg.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return f"non-numeric latency {value!r}"
+        if value != value:  # NaN literal via float("nan") is a Call, but
+            return f"NaN latency {value!r}"  # pragma: no cover - defensive
+    return None
+
+
+def _check_sim003(tree: ast.Module, out: _Collector) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if not isinstance(callee, ast.Attribute):
+            continue
+        if callee.attr not in {"timeout", "_schedule"}:
+            continue
+        if not node.args:
+            continue
+        problem = _negative_or_nonnumeric(node.args[0])
+        if problem is not None:
+            out.add(node, "SIM003",
+                    f"{problem} passed to {callee.attr}(); simulated delays "
+                    "are non-negative nanoseconds")
+
+
+def _is_mutable_default(default: ast.expr) -> bool:
+    if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                            ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(default, ast.Call):
+        callee = default.func
+        if isinstance(callee, ast.Name) and callee.id in _MUTABLE_CALLS:
+            return True
+        if (isinstance(callee, ast.Attribute)
+                and callee.attr in _MUTABLE_QUALIFIED_CALLS):
+            return True
+    return False
+
+
+def _check_sim004(func: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                  out: _Collector) -> None:
+    defaults = list(func.args.defaults) + [
+        d for d in func.args.kw_defaults if d is not None]
+    for default in defaults:
+        if _is_mutable_default(default):
+            out.add(default, "SIM004",
+                    f"mutable default argument in {func.name}(); defaults "
+                    "are evaluated once and shared across calls")
+
+
+def _self_attr_target(node: ast.expr) -> str | None:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _attr_reads(expr: ast.expr) -> typing.Set[str]:
+    """``self.<attr>`` names read anywhere inside ``expr``."""
+    reads = set()
+    for node in ast.walk(expr):
+        attr = _self_attr_target(node) if isinstance(node, ast.expr) else None
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            reads.add(attr)
+    return reads
+
+
+def _name_reads(expr: ast.expr) -> typing.Set[str]:
+    """Local names read anywhere inside ``expr``."""
+    return {node.id for node in ast.walk(expr)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)}
+
+
+def _check_sim005(func: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                  out: _Collector) -> None:
+    if not _is_generator(func):
+        return
+    own = list(_own_nodes(func))
+    # Functions that acquire a Resource slot are presumed to hold it
+    # across their critical section; the kernel serializes the holders.
+    for node in own:
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"request", "use"}):
+            return
+    for node in own:
+        if isinstance(node, ast.Global):
+            out.add(node, "SIM005",
+                    "process generator mutates global state; interleaved "
+                    "processes race on it at every yield point")
+    yield_lines = sorted(node.lineno for node in own
+                         if isinstance(node, (ast.Yield, ast.YieldFrom)))
+    if not yield_lines:
+        return
+    # local name -> (shared attr it snapshots, line of the snapshot)
+    snapshots: typing.Dict[str, typing.Tuple[str, int]] = {}
+    writes: typing.List[ast.Assign] = []
+    for node in sorted(
+            (n for n in own if isinstance(n, ast.Assign)),
+            key=lambda n: n.lineno):
+        targets = [t for t in node.targets if isinstance(t, ast.Name)]
+        attrs_read = _attr_reads(node.value)
+        for target in targets:
+            for attr in attrs_read:
+                snapshots[target.id] = (attr, node.lineno)
+        if any(_self_attr_target(t) is not None for t in node.targets):
+            writes.append(node)
+    for write in writes:
+        written = {_self_attr_target(t) for t in write.targets}
+        for local in _name_reads(write.value):
+            snapshot = snapshots.get(local)
+            if snapshot is None:
+                continue
+            attr, read_line = snapshot
+            if attr not in written:
+                continue
+            if read_line >= write.lineno:
+                continue
+            if any(read_line < y < write.lineno for y in yield_lines):
+                out.add(write, "SIM005",
+                        f"self.{attr} was read into {local!r} at line "
+                        f"{read_line} and written back after a yield; "
+                        "other processes ran in between — hold a "
+                        "repro.sim Resource around the read-modify-write")
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>"
+                ) -> typing.List[LintViolation]:
+    """Lint one module's source text; returns violations in line order."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 0
+        return [LintViolation(path, line, "SIM000",
+                              f"syntax error: {exc.msg}")]
+    out = _Collector(path, source.splitlines())
+    _check_sim001(tree, out)
+    _check_sim003(tree, out)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_sim004(node, out)
+            if _is_generator(node):
+                _check_sim002(node, out)
+                _check_sim005(node, out)
+    return sorted(out.violations, key=lambda v: (v.line, v.code))
+
+
+def lint_file(path: typing.Union[str, Path]) -> typing.List[LintViolation]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    return lint_source(file_path.read_text(encoding="utf-8"), str(file_path))
+
+
+def lint_paths(paths: typing.Iterable[typing.Union[str, Path]]
+               ) -> typing.List[LintViolation]:
+    """Lint files and directory trees (``*.py``, recursively)."""
+    violations: typing.List[LintViolation] = []
+    for path in paths:
+        target = Path(path)
+        if target.is_dir():
+            for file_path in sorted(target.rglob("*.py")):
+                violations.extend(lint_file(file_path))
+        else:
+            violations.extend(lint_file(target))
+    return violations

@@ -1,0 +1,61 @@
+"""Pytest integration for the analysis subsystem.
+
+Registered from the repository-root ``conftest.py``.  Provides:
+
+* ``@pytest.mark.determinism`` — the marked test is executed twice;
+  the event traces the DES kernel emitted during each execution are
+  compared and any divergence fails the test with the first differing
+  event.  The test body must be self-contained (build its own
+  :class:`~repro.sim.engine.Simulator`), which every kernel-driving
+  test in this suite already is.
+* ``protocol_monitor`` fixture — a recording
+  :class:`~repro.analysis.conformance.ProtocolChecker` that fails the
+  test at teardown if any observed command violated the three-phase
+  addressing protocol.  Pass it as the ``monitor`` of a
+  :class:`~repro.controller.PramSubsystem`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import pytest
+
+from repro.analysis.conformance import ProtocolChecker
+from repro.analysis.determinism import DeterminismError, capture_trace, diff_traces
+
+
+def pytest_configure(config: typing.Any) -> None:
+    config.addinivalue_line(
+        "markers",
+        "determinism: run the test twice and fail on any divergence "
+        "between the two kernel event traces",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: typing.Any) -> typing.Iterator[None]:
+    if item.get_closest_marker("determinism") is None:
+        yield
+        return
+    with capture_trace() as first:
+        outcome = yield  # the normal (first) execution of the test
+    if outcome.excinfo is not None:
+        return  # already failing; don't pile a second run on top
+    with capture_trace() as second:
+        item.runtest()
+    problem = diff_traces(first, second)
+    if problem is not None:
+        raise DeterminismError(
+            f"{item.nodeid} is nondeterministic: {problem}")
+
+
+@pytest.fixture
+def protocol_monitor() -> typing.Iterator[ProtocolChecker]:
+    """Recording conformance checker that fails the test on violations."""
+    checker = ProtocolChecker(strict=False, record=True)
+    yield checker
+    if not checker.ok:
+        details = "\n".join(str(v) for v in checker.violations)
+        pytest.fail(
+            f"LPDDR2-NVM protocol violations observed:\n{details}")

@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.analysis.conformance import Command, CommandRecord, ProtocolChecker
 from repro.controller.datapath import Datapath
 from repro.controller.phy import PramPhy
 from repro.controller.scheduler import SchedulerPolicy, WriteHintStore
@@ -31,10 +32,13 @@ from repro.controller.wear_level import (
     DEFAULT_GAP_WRITE_INTERVAL,
     StartGapMapper,
 )
-from repro.pram.address import AddressMap
+from repro.pram.address import AddressMap, PramAddress
 from repro.pram.module import PramModule
 from repro.pram.overlay_window import CMD_SELECTIVE_ERASE
 from repro.sim import Histogram, Resource, Simulator
+
+#: One hinted pre-reset target: (row address, chunk bytes, hint time).
+_HintChunk = typing.Tuple[PramAddress, int, float]
 
 
 class ChannelController:
@@ -42,14 +46,15 @@ class ChannelController:
 
     def __init__(self, sim: Simulator, modules: typing.Sequence[PramModule],
                  policy: SchedulerPolicy = SchedulerPolicy.FINAL,
-                 address_map: typing.Optional[AddressMap] = None,
+                 address_map: AddressMap | None = None,
                  phase_skipping: bool = True,
-                 hint_store: typing.Optional[WriteHintStore] = None,
+                 hint_store: WriteHintStore | None = None,
                  channel_id: int = 0,
                  wear_leveling: bool = False,
                  gap_write_interval: int = DEFAULT_GAP_WRITE_INTERVAL,
                  write_pausing: bool = False,
-                 pause_resume_penalty_ns: float = 1_000.0) -> None:
+                 pause_resume_penalty_ns: float = 1_000.0,
+                 monitor: ProtocolChecker | None = None) -> None:
         if not modules:
             raise ValueError("a channel needs at least one module")
         self.sim = sim
@@ -69,6 +74,20 @@ class ChannelController:
             Resource(sim, capacity=1, name=f"ch{channel_id}.m{i}.window")
             for i in range(len(self.modules))
         ]
+        # Read-pipeline hazard tracking: a chunk owns its RAB/RDB pair
+        # from probe to burst, so a concurrent chunk cannot re-activate
+        # over an RDB that has not been streamed out yet.  The slot
+        # resource bounds in-flight reads per module to the pair count,
+        # which guarantees the probe always finds a free pair.
+        pair_count = len(self.modules[0].buffers)
+        self._pair_slots = [
+            Resource(sim, capacity=pair_count,
+                     name=f"ch{channel_id}.m{i}.pairs")
+            for i in range(len(self.modules))
+        ]
+        self._busy_pairs: typing.List[typing.Set[int]] = [
+            set() for _ in self.modules
+        ]
         # Optional start-gap wear leveling (Section VII): one mapper
         # per (module, partition); one row per partition is the spare.
         self.wear_leveling = wear_leveling
@@ -81,6 +100,10 @@ class ChannelController:
         self.write_pausing = write_pausing
         self.pause_resume_penalty_ns = pause_resume_penalty_ns
         self.pauses_issued = 0
+        # Opt-in protocol conformance layer (repro.analysis): every
+        # command issued to a module is validated/recorded as it
+        # happens.  None (the default) costs nothing.
+        self.monitor = monitor
         # Statistics
         self.read_latency = Histogram(f"ch{channel_id}.read_latency")
         self.write_latency = Histogram(f"ch{channel_id}.write_latency")
@@ -97,7 +120,10 @@ class ChannelController:
                        ) -> typing.Generator:
         """Process body: run this channel's chunks under the policy.
 
-        Returns the concatenated read data (b"" for writes).
+        Returns ``(request offset, data)`` pairs — one per chunk, data
+        ``b""`` for writes — so the subsystem can reassemble a
+        multi-stripe request in address order rather than channel
+        order.
         """
         if self.policy.interleaves:
             done = [self.sim.process(self._chunk_process(c)) for c in chunks]
@@ -117,7 +143,7 @@ class ChannelController:
                 ordered = [results[proc] for proc in done]
             finally:
                 self._serial_lock.release(lock)
-        return b"".join(ordered)
+        return ordered
 
     def prefetch_hints(self) -> typing.Generator:
         """Process body: drain the write-hint store by pre-RESETting.
@@ -130,7 +156,7 @@ class ChannelController:
         """
         if not self.policy.pre_resets:
             return
-        per_module: typing.Dict[int, list] = {}
+        per_module: typing.Dict[int, typing.List[_HintChunk]] = {}
         while True:
             hint = self.hints.pop()
             if hint is None:
@@ -148,7 +174,8 @@ class ChannelController:
                    for chunks in per_module.values()]
         yield self.sim.all_of(workers)
 
-    def _reset_worker(self, chunks: typing.List) -> typing.Generator:
+    def _reset_worker(self, chunks: typing.List[_HintChunk]
+                      ) -> typing.Generator:
         """Serially pre-reset one module's hinted chunks."""
         for pram_address, chunk_size, registered_at in chunks:
             yield self.sim.process(self._pre_reset(pram_address,
@@ -158,17 +185,18 @@ class ChannelController:
     # ------------------------------------------------------------------
     # Chunk state machines
     # ------------------------------------------------------------------
-    def _chunk_process(self, chunk: ChunkPlan) -> typing.Generator:
+    def _chunk_process(self, chunk: ChunkPlan
+                       ) -> typing.Generator:
         start = self.sim.now
         if chunk.is_write:
             yield from self._write_chunk(chunk)
             self.write_latency.add(self.sim.now - start)
             self.chunks_written += 1
-            return b""
+            return (chunk.offset, b"")
         data = yield from self._read_chunk(chunk)
         self.read_latency.add(self.sim.now - start)
         self.chunks_read += 1
-        return data
+        return (chunk.offset, data)
 
     def _read_chunk(self, chunk: ChunkPlan) -> typing.Generator:
         module = self.modules[chunk.address.module]
@@ -177,9 +205,33 @@ class ChannelController:
                                  chunk.address.row)
         upper, lower = self.address_map.split_row(row)
 
+        # Own one RAB/RDB pair for the whole probe→burst span.  Without
+        # this, pipelined reads that share a pair (e.g. every chunk
+        # RAB-hitting pair 0) re-activate over an RDB whose burst has
+        # not happened yet and stream the wrong row.
+        slot = self._pair_slots[chunk.address.module].request()
+        yield slot
+        busy = self._busy_pairs[chunk.address.module]
+        # No yield between the grant above and the add below, so the
+        # probe and the reservation are atomic under cooperative
+        # scheduling.
         buffer_id, need_pre_active, need_activate = self._probe_buffers(
-            module, partition, row, upper, chunk.buffer_id)
+            module, partition, row, upper, chunk.buffer_id, busy)
+        busy.add(buffer_id)
+        try:
+            data = yield from self._issue_read_phases(
+                chunk, module, partition, row, upper, lower,
+                buffer_id, need_pre_active, need_activate)
+        finally:
+            busy.discard(buffer_id)
+            self._pair_slots[chunk.address.module].release(slot)
+        return data
 
+    def _issue_read_phases(self, chunk: ChunkPlan, module: PramModule,
+                           partition: int, row: int, upper: int,
+                           lower: int, buffer_id: int,
+                           need_pre_active: bool,
+                           need_activate: bool) -> typing.Generator:
         paused = False
         if (self.write_pausing and need_activate
                 and module.program_in_flight(partition, self.sim.now)):
@@ -196,8 +248,14 @@ class ChannelController:
             yield from self._hold_bus(self.phy.command_cost(packets))
             now = self.sim.now
             if need_pre_active:
+                self._observe(Command.PRE_ACTIVE, chunk.address.module,
+                              buffer_id=buffer_id, upper_row=upper)
                 now = module.pre_active(now, buffer_id, upper)
             if need_activate:
+                self._observe(Command.ACTIVATE, chunk.address.module,
+                              buffer_id=buffer_id, partition=partition,
+                              row=row, upper_row=upper, lower_row=lower,
+                              skipped_pre_active=not need_pre_active)
                 now = module.activate(now, buffer_id, partition, lower)
             if now > self.sim.now:
                 yield self.sim.timeout(now - self.sim.now)
@@ -207,6 +265,10 @@ class ChannelController:
             module.resume_program(partition, self.sim.now)
 
         # The data burst occupies the bus for preamble + burst time.
+        self._observe(Command.READ_BURST, chunk.address.module,
+                      buffer_id=buffer_id, partition=partition, row=row,
+                      skipped_pre_active=not need_pre_active,
+                      skipped_activate=not need_activate)
         finish, data = module.read_burst(
             self.sim.now, buffer_id, chunk.address.column, chunk.size)
         yield from self._hold_bus(finish - self.sim.now)
@@ -227,6 +289,8 @@ class ChannelController:
             self.datapath.stage_store(payload)
             # Register pokes + payload burst into the program buffer all
             # travel over the shared bus.
+            self._observe(Command.STAGE_PROGRAM, index,
+                          partition=partition, row=row)
             stage_finish = module.stage_program(
                 self.sim.now, partition, row,
                 chunk.address.column, payload)
@@ -235,6 +299,8 @@ class ChannelController:
             # and the module's overlay window until completion.  The
             # wait re-checks the partition clock because write pausing
             # can extend an in-flight program.
+            self._observe(Command.EXECUTE_PROGRAM, index,
+                          partition=partition, row=row)
             module.execute_program(self.sim.now)
             while True:
                 ready = module.partition_ready_at(partition)
@@ -246,7 +312,7 @@ class ChannelController:
         finally:
             self._window_locks[index].release(window)
 
-    def _pre_reset(self, address, size: int,
+    def _pre_reset(self, address: PramAddress, size: int,
                    registered_at: float = float("inf")
                    ) -> typing.Generator:
         """Background all-zero program of one row chunk (Section V-A)."""
@@ -280,10 +346,14 @@ class ChannelController:
             if module.last_program_time(address.partition,
                                         address.row) > registered_at:
                 return
+            self._observe(Command.STAGE_PROGRAM, address.module,
+                          partition=address.partition, row=address.row)
             stage_finish = module.stage_program(
                 self.sim.now, address.partition, address.row,
                 address.column, bytes(size), command=CMD_SELECTIVE_ERASE)
             yield from self._hold_bus(stage_finish - self.sim.now)
+            self._observe(Command.EXECUTE_PROGRAM, address.module,
+                          partition=address.partition, row=address.row)
             finish = module.execute_program(self.sim.now)
             yield self.sim.timeout(finish - self.sim.now)
             self.pre_resets_issued += 1
@@ -294,19 +364,32 @@ class ChannelController:
     # Helpers
     # ------------------------------------------------------------------
     def _probe_buffers(self, module: PramModule, partition: int, row: int,
-                       upper: int, planned_buffer: int
+                       upper: int, planned_buffer: int,
+                       busy: typing.AbstractSet[int] = frozenset()
                        ) -> typing.Tuple[int, bool, bool]:
-        """Decide phase skips: (buffer_id, need_pre_active, need_activate)."""
+        """Decide phase skips: (buffer_id, need_pre_active, need_activate).
+
+        Pairs in ``busy`` are owned by an in-flight chunk: their RDB is
+        about to be overwritten, so neither their contents nor the pair
+        itself can be used.
+        """
         if self.phase_skipping:
-            rdb = module.buffers.find_rdb(partition, row)
+            rdb = module.buffers.find_rdb(partition, row, exclude=busy)
             if rdb is not None:
                 self.phase_skips["pre_active"] += 1
                 self.phase_skips["activate"] += 1
                 return rdb.buffer_id, False, False
-            rab = module.buffers.find_rab(upper)
+            rab = module.buffers.find_rab(upper, exclude=busy)
             if rab is not None:
                 self.phase_skips["pre_active"] += 1
                 return rab.buffer_id, False, True
+        if planned_buffer in busy:
+            # The planner's round-robin choice is mid-use; fall back to
+            # the least-recently-used free pair (one always exists —
+            # the slot resource caps in-flight reads at the pair count).
+            free = [b for b in range(len(module.buffers)) if b not in busy]
+            planned_buffer = min(
+                free, key=lambda b: module.buffers.pair(b).last_use)
         return planned_buffer, True, True
 
     def _physical_row(self, module_index: int, partition: int,
@@ -346,12 +429,25 @@ class ChannelController:
         # Sensing the source row costs an activate; then a normal
         # program into the destination.
         yield self.sim.timeout(module.timing.activate())
+        self._observe(Command.STAGE_PROGRAM, module_index,
+                      partition=partition, row=move.destination)
         stage_finish = module.stage_program(
             self.sim.now, partition, move.destination, 0, data)
         yield from self._hold_bus(stage_finish - self.sim.now)
+        self._observe(Command.EXECUTE_PROGRAM, module_index,
+                      partition=partition, row=move.destination)
         finish = module.execute_program(self.sim.now)
         yield self.sim.timeout(finish - self.sim.now)
         self.gap_moves += 1
+
+    def _observe(self, command: Command, module_index: int,
+                 **fields: typing.Any) -> None:
+        """Feed one command to the conformance monitor, if attached."""
+        if self.monitor is None:
+            return
+        self.monitor.observe(CommandRecord(
+            time=self.sim.now, channel=self.channel_id,
+            module=module_index, command=command, **fields))
 
     def _hold_bus(self, duration: float) -> typing.Generator:
         """Occupy the channel bus for ``duration`` ns."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.analysis.conformance import ProtocolChecker
 from repro.controller.channel import ChannelController
 from repro.controller.firmware import FirmwareModel
 from repro.controller.initializer import Initializer
@@ -30,11 +31,15 @@ class PramSubsystem:
                  params: PramTimingParams = PramTimingParams(),
                  policy: SchedulerPolicy = SchedulerPolicy.FINAL,
                  phase_skipping: bool = True,
-                 firmware: typing.Optional[FirmwareModel] = None,
+                 firmware: FirmwareModel | None = None,
                  wear_leveling: bool = False,
                  gap_write_interval: int = 100,
-                 write_pausing: bool = False) -> None:
+                 write_pausing: bool = False,
+                 monitor: ProtocolChecker | None = None) -> None:
         self.sim = sim
+        # Opt-in LPDDR2-NVM conformance layer (repro.analysis): shared
+        # across channels so one checker sees the whole command stream.
+        self.monitor = monitor
         self.geometry = geometry
         self.params = params
         self.policy = policy
@@ -55,7 +60,8 @@ class PramSubsystem:
                 hint_store=self.hint_stores[ch], channel_id=ch,
                 wear_leveling=wear_leveling,
                 gap_write_interval=gap_write_interval,
-                write_pausing=write_pausing)
+                write_pausing=write_pausing,
+                monitor=monitor)
             for ch in range(geometry.channels)
         ]
         self.boot_latency_ns = Initializer().boot(
@@ -81,7 +87,13 @@ class PramSubsystem:
         ]
         results = yield self.sim.all_of(pending)
         request.complete_time = self.sim.now
-        request.result = b"".join(results[proc] for proc in pending)
+        # Channels return (request offset, data) pairs; reassemble in
+        # address order — a request larger than one stripe interleaves
+        # back and forth across channels, so channel-major
+        # concatenation would misorder it.
+        pieces = [piece for proc in pending for piece in results[proc]]
+        pieces.sort(key=lambda piece: piece[0])
+        request.result = b"".join(data for _, data in pieces)
         self.requests_completed += 1
         if request.done is not None:
             request.done.succeed(request.result)

@@ -32,13 +32,13 @@ class MemoryRequest:
     op: Op
     address: int
     size: int
-    data: typing.Optional[bytes] = None
+    data: bytes | None = None
     request_id: int = dataclasses.field(
         default_factory=lambda: next(_request_ids))
     submit_time: float = 0.0
     complete_time: float = 0.0
-    result: typing.Optional[bytes] = None
-    done: typing.Optional["Event"] = None
+    result: bytes | None = None
+    done: "Event" | None = None
 
     def __post_init__(self) -> None:
         if self.size < 1:

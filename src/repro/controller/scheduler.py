@@ -70,7 +70,7 @@ class WriteHintStore:
         self._pending.append((address, size, registered_at))
         self.registered += 1
 
-    def pop(self) -> typing.Optional[typing.Tuple[int, int, float]]:
+    def pop(self) -> typing.Tuple[int, int, float] | None:
         """Take the oldest unprocessed hint (None when drained)."""
         if not self._pending:
             return None

@@ -34,7 +34,7 @@ class ChunkPlan:
         return self.request.op is Op.WRITE
 
     @property
-    def payload(self) -> typing.Optional[bytes]:
+    def payload(self) -> bytes | None:
         """This chunk's slice of the request payload (writes only)."""
         if self.request.data is None:
             return None
@@ -49,7 +49,7 @@ class AccessPlanner:
     scheduler to overlap one chunk's burst with another's array access.
     """
 
-    def __init__(self, address_map: typing.Optional[AddressMap] = None) -> None:
+    def __init__(self, address_map: AddressMap | None = None) -> None:
         self.address_map = address_map or AddressMap()
         self._next_buffer: typing.Dict[typing.Tuple[int, int], int] = {}
 

@@ -82,7 +82,7 @@ class StartGapMapper:
             physical += 1
         return physical
 
-    def record_write(self) -> typing.Optional[GapMove]:
+    def record_write(self) -> GapMove | None:
         """Account one row program; returns a due :class:`GapMove`.
 
         The caller must complete the returned copy *before* issuing

@@ -62,7 +62,7 @@ class EnergyAccount:
     ``pe_idle``, ``controller``.
     """
 
-    def __init__(self, model: typing.Optional[EnergyModel] = None,
+    def __init__(self, model: EnergyModel | None = None,
                  name: str = "energy") -> None:
         self.model = model or EnergyModel()
         self.breakdown = Breakdown(name)

@@ -98,7 +98,7 @@ def config_from_args(args: argparse.Namespace) -> runner.ExperimentConfig:
     return runner.ExperimentConfig(scale=args.scale, seed=args.seed)
 
 
-def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+def main(argv: typing.Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":

@@ -22,7 +22,7 @@ from repro.systems import SYSTEM_NAMES
 
 def run(config: ExperimentConfig = ExperimentConfig(),
         systems: typing.Sequence[str] = SYSTEM_NAMES,
-        matrix: typing.Optional[typing.Dict] = None) -> typing.Dict:
+        matrix: typing.Dict | None = None) -> typing.Dict:
     """Returns the normalized-bandwidth matrix and headline means.
 
     Pass ``matrix`` (from :func:`run_matrix`) to reuse executions

@@ -23,7 +23,7 @@ CATEGORIES = ("data_preparation", "kernel_offload", "computation",
 
 def run(config: ExperimentConfig = ExperimentConfig(),
         systems: typing.Sequence[str] = SYSTEM_NAMES,
-        matrix: typing.Optional[typing.Dict] = None) -> typing.Dict:
+        matrix: typing.Dict | None = None) -> typing.Dict:
     """Returns mean per-category time fractions per system."""
     if matrix is None:
         matrix = run_matrix(config, list(systems))

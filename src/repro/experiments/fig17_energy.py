@@ -23,7 +23,7 @@ CATEGORIES = ("host", "host_dram", "pcie", "dram", "storage", "pram",
 
 def run(config: ExperimentConfig = ExperimentConfig(),
         systems: typing.Sequence[str] = SYSTEM_NAMES,
-        matrix: typing.Optional[typing.Dict] = None) -> typing.Dict:
+        matrix: typing.Dict | None = None) -> typing.Dict:
     """Returns per-system energy (mJ) and category decompositions."""
     if matrix is None:
         matrix = run_matrix(config, list(systems))

@@ -13,7 +13,7 @@ _BLOCKS = " ▁▂▃▄▅▆▇█"
 
 
 def sparkline(values: typing.Sequence[float],
-              maximum: typing.Optional[float] = None) -> str:
+              maximum: float | None = None) -> str:
     """Render values as one line of block characters.
 
     ``maximum`` fixes the y-scale (shared across series); defaults to

@@ -41,7 +41,7 @@ class ExperimentConfig:
             dram_fraction=self.dram_fraction)
 
     def bundle(self, name: str,
-               rounds: typing.Optional[int] = None) -> TraceBundle:
+               rounds: int | None = None) -> TraceBundle:
         """Deterministic trace bundle for one workload."""
         return generate_traces(workload(name), agents=self.agents,
                                scale=self.scale, seed=self.seed,
@@ -55,7 +55,7 @@ QUICK = ExperimentConfig(scale=0.05, agents=3,
 
 def run_matrix(config: ExperimentConfig,
                systems: typing.Sequence[str],
-               workloads: typing.Optional[typing.Sequence[str]] = None,
+               workloads: typing.Sequence[str] | None = None,
                ) -> typing.Dict[str, typing.Dict[str, ExecutionResult]]:
     """Run every (workload, system) pair.
 

@@ -35,7 +35,7 @@ class HostCpu:
 
     def __init__(self, sim: Simulator,
                  costs: HostCpuCosts = HostCpuCosts(),
-                 energy: typing.Optional[EnergyAccount] = None) -> None:
+                 energy: EnergyAccount | None = None) -> None:
         self.sim = sim
         self.costs = costs
         self.energy = energy

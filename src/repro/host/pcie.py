@@ -27,7 +27,7 @@ class PcieLink:
     def __init__(self, sim: Simulator,
                  bandwidth: float = PCIE_BANDWIDTH,
                  latency_ns: float = PCIE_LATENCY_NS,
-                 energy: typing.Optional[EnergyAccount] = None,
+                 energy: EnergyAccount | None = None,
                  name: str = "pcie") -> None:
         self.sim = sim
         self.name = name

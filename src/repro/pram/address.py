@@ -46,7 +46,7 @@ class PramAddress:
 class AddressMap:
     """Bidirectional flat-address ⇄ :class:`PramAddress` mapping."""
 
-    def __init__(self, geometry: typing.Optional[PramGeometry] = None) -> None:
+    def __init__(self, geometry: PramGeometry | None = None) -> None:
         self.geometry = geometry or PramGeometry()
 
     def decompose(self, flat: int) -> PramAddress:

@@ -267,7 +267,7 @@ class PramModule:
                 f"[0, {self.geometry.partitions_per_bank})"
             )
 
-    def _compose_row(self, upper: typing.Optional[int], lower: int) -> int:
+    def _compose_row(self, upper: int | None, lower: int) -> int:
         if upper is None:
             raise ProtocolError("RAB holds no upper row address")
         if lower < 0 or lower >= (1 << self.geometry.lower_row_bits):

@@ -18,11 +18,11 @@ class RowBufferPair:
     """One RAB/RDB pair."""
 
     buffer_id: int
-    upper_row: typing.Optional[int] = None       # RAB contents
+    upper_row: int | None = None       # RAB contents
     rab_valid: bool = False
-    partition: typing.Optional[int] = None       # RDB tag
-    row: typing.Optional[int] = None             # RDB tag
-    data: typing.Optional[bytes] = None          # RDB contents
+    partition: int | None = None       # RDB tag
+    row: int | None = None             # RDB tag
+    data: bytes | None = None          # RDB contents
     rdb_valid: bool = False
     last_use: int = 0                            # LRU stamp
 
@@ -58,27 +58,34 @@ class RowBufferSet:
     # ------------------------------------------------------------------
     # Lookup used for phase skipping
     # ------------------------------------------------------------------
-    def find_rdb(self, partition: int,
-                 row: int) -> typing.Optional[RowBufferPair]:
+    def find_rdb(self, partition: int, row: int,
+                 exclude: typing.AbstractSet[int] = frozenset()
+                 ) -> RowBufferPair | None:
         """Pair whose RDB holds ``row`` of ``partition``, if any.
 
         A hit lets the controller skip both pre-active and activate.
+        Pairs whose id is in ``exclude`` (in use by an in-flight
+        access) are never returned.
         """
         for pair in self._pairs:
             if (pair.rdb_valid and pair.partition == partition
-                    and pair.row == row):
+                    and pair.row == row and pair.buffer_id not in exclude):
                 self.rdb_hits += 1
                 self._touch(pair)
                 return pair
         return None
 
-    def find_rab(self, upper_row: int) -> typing.Optional[RowBufferPair]:
+    def find_rab(self, upper_row: int,
+                 exclude: typing.AbstractSet[int] = frozenset()
+                 ) -> RowBufferPair | None:
         """Pair whose RAB already holds ``upper_row``, if any.
 
-        A hit lets the controller skip the pre-active phase.
+        A hit lets the controller skip the pre-active phase.  Pairs
+        whose id is in ``exclude`` are never returned.
         """
         for pair in self._pairs:
-            if pair.rab_valid and pair.upper_row == upper_row:
+            if (pair.rab_valid and pair.upper_row == upper_row
+                    and pair.buffer_id not in exclude):
                 self.rab_hits += 1
                 self._touch(pair)
                 return pair

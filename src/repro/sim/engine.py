@@ -4,12 +4,19 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import typing
 
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
 GeneratorType = typing.Generator
+
+#: One scheduled occurrence: ``(timestamp, tie-break counter, event)``.
+HeapEntry = typing.Tuple[float, int, Event]
+
+#: One entry of a captured event trace: ``(timestamp, event label)``.
+TraceEntry = typing.Tuple[float, str]
 
 
 class Simulator:
@@ -32,11 +39,20 @@ class Simulator:
         assert sim.now == 10.0
     """
 
+    #: When set (see :func:`repro.analysis.determinism.capture_trace`),
+    #: every simulator instance appends ``(timestamp, label)`` to this
+    #: shared sink as it processes events.  Class-level on purpose: the
+    #: determinism harness must observe simulators constructed inside
+    #: the workload under test.
+    _trace_sink: typing.ClassVar[typing.List[TraceEntry] | None] = (
+        None
+    )
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list = []
+        self._heap: typing.List[HeapEntry] = []
         self._counter = itertools.count()
-        self._active: typing.Optional[Process] = None
+        self._active: Process | None = None
 
     @property
     def now(self) -> float:
@@ -44,7 +60,7 @@ class Simulator:
         return self._now
 
     @property
-    def active_process(self) -> typing.Optional[Process]:
+    def active_process(self) -> Process | None:
         """The process currently being stepped, if any."""
         return self._active
 
@@ -75,7 +91,19 @@ class Simulator:
     # Scheduling and the run loop
     # ------------------------------------------------------------------
     def _schedule(self, delay: float, event: Event) -> None:
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+        if math.isnan(delay):
+            raise ValueError(f"cannot schedule {event!r}: delay is NaN")
+        if delay < 0:
+            raise ValueError(
+                f"cannot schedule {event!r}: negative delay {delay}"
+            )
+        when = self._now + delay
+        if math.isnan(when):
+            raise ValueError(
+                f"cannot schedule {event!r}: timestamp is NaN "
+                f"(now={self._now}, delay={delay})"
+            )
+        heapq.heappush(self._heap, (when, next(self._counter), event))
 
     def peek(self) -> float:
         """Timestamp of the next scheduled event, or ``inf`` if none."""
@@ -87,18 +115,23 @@ class Simulator:
             raise RuntimeError("step() on an empty event heap")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        sink = Simulator._trace_sink
+        if sink is not None:
+            sink.append((when, event.name or type(event).__name__))
         callbacks, event.callbacks = event.callbacks, []
         event._processed = True
         for callback in callbacks:
             callback(event)
 
-    def run(self, until: typing.Optional[float] = None) -> None:
+    def run(self, until: float | None = None) -> None:
         """Drain the event heap, optionally stopping at time ``until``.
 
         With ``until`` set, the clock is advanced to exactly ``until``
         even if no event lands on that instant, matching the convention
         of mainstream DES kernels.
         """
+        if until is not None and math.isnan(until):
+            raise ValueError("cannot run until NaN")
         if until is not None and until < self._now:
             raise ValueError(
                 f"cannot run until {until} ns: clock already at {self._now} ns"

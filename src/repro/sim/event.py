@@ -29,7 +29,7 @@ class Event:
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self.callbacks: list = []
+        self.callbacks: typing.List[typing.Callable[["Event"], None]] = []
         self._value: object = None
         self._ok = True
         self._triggered = False
@@ -135,7 +135,7 @@ class _Condition(Event):
         self._pending -= 1
         self._check()
 
-    def _collect(self) -> dict:
+    def _collect(self) -> typing.Dict["Event", object]:
         return {
             event: event.value for event in self._events if event.triggered
         }

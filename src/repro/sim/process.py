@@ -35,7 +35,7 @@ class Process(Event):
             )
         super().__init__(sim, name or getattr(generator, "__name__", "process"))
         self._generator = generator
-        self._waiting_on: typing.Optional[Event] = None
+        self._waiting_on: Event | None = None
         # Kick off on the next kernel step so creation order does not
         # matter within a single simulated instant.
         bootstrap = Event(sim, name=f"{self.name}.bootstrap")

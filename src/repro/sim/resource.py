@@ -37,7 +37,7 @@ class Resource:
         self.sim = sim
         self.name = name
         self.capacity = capacity
-        self._users: set = set()
+        self._users: typing.Set[Request] = set()
         self._queue: typing.Deque[Request] = collections.deque()
 
     @property
@@ -94,7 +94,7 @@ class Store:
         self.sim = sim
         self.name = name
         self.capacity = capacity
-        self.items: typing.Deque = collections.deque()
+        self.items: typing.Deque[object] = collections.deque()
         self._getters: typing.Deque[Event] = collections.deque()
         self._putters: typing.Deque[typing.Tuple[Event, object]] = (
             collections.deque()

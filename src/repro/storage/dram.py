@@ -76,8 +76,8 @@ class DramBuffer:
         self.misses += 1
         return False
 
-    def insert(self, block: int, dirty: bool = False) -> typing.Optional[
-            typing.Tuple[int, bool]]:
+    def insert(self, block: int, dirty: bool = False
+               ) -> typing.Tuple[int, bool] | None:
         """Add a block; returns the evicted ``(block, dirty)`` if any."""
         evicted = None
         if block not in self._blocks and (

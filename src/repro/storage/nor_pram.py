@@ -44,7 +44,7 @@ class NorPram:
     """
 
     def __init__(self, sim: Simulator,
-                 energy: typing.Optional[EnergyAccount] = None,
+                 energy: EnergyAccount | None = None,
                  name: str = "nor-pram") -> None:
         self.sim = sim
         self.name = name

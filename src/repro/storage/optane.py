@@ -35,7 +35,7 @@ class PramSsd:
 
     def __init__(self, sim: Simulator,
                  parallelism: int = PRAM_SSD_PARALLELISM,
-                 energy: typing.Optional[EnergyAccount] = None,
+                 energy: EnergyAccount | None = None,
                  name: str = "pram-ssd") -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")

@@ -30,7 +30,7 @@ class EmulatedSsd:
                  cell_type: FlashCellType = FlashCellType.MLC,
                  buffer_bytes: int = SSD_BUFFER_BYTES,
                  parallelism: int = 16,
-                 energy: typing.Optional[EnergyAccount] = None,
+                 energy: EnergyAccount | None = None,
                  name: str = "ssd") -> None:
         self.sim = sim
         self.name = name

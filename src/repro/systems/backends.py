@@ -380,7 +380,7 @@ class NorBackend:
     """Direct byte access over the NOR-interface PRAM (NOR-intf)."""
 
     def __init__(self, sim: Simulator, energy: EnergyAccount,
-                 nor: typing.Optional[NorPram] = None) -> None:
+                 nor: NorPram | None = None) -> None:
         self.sim = sim
         self.energy = energy
         self.nor = nor if nor is not None else NorPram(sim, energy=energy)

@@ -165,7 +165,7 @@ class AcceleratedSystem(abc.ABC):
             phase_ns[phase] = phase_ns.get(phase, 0.0) + amount
 
         def driver() -> typing.Generator:
-            execute_start: typing.Optional[float] = None
+            execute_start: float | None = None
             for round_index, traces in enumerate(bundle.rounds):
                 coordinated = self.host_coordinated or round_index == 0
 

@@ -45,7 +45,7 @@ class HeteroSystem(AcceleratedSystem):
         self.pram_ssd = pram_ssd
         self.p2p = p2p
         self.name = _hetero_name(pram_ssd, p2p)
-        self.cpu: typing.Optional[HostCpu] = None
+        self.cpu: HostCpu | None = None
 
     def _build(self, sim: Simulator, energy: EnergyAccount,
                bundle: TraceBundle) -> HostSsdBackend:

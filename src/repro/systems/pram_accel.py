@@ -72,7 +72,7 @@ class DramlessSystem(AcceleratedSystem):
                  policy: SchedulerPolicy = SchedulerPolicy.FINAL,
                  firmware: bool = False,
                  firmware_cores: int = 3,
-                 firmware_instructions: typing.Optional[int] = None,
+                 firmware_instructions: int | None = None,
                  geometry: PramGeometry = PramGeometry(),
                  params: PramTimingParams = PramTimingParams()) -> None:
         super().__init__(config)
@@ -83,7 +83,7 @@ class DramlessSystem(AcceleratedSystem):
         self.geometry = geometry
         self.params = params
         self.name = "DRAM-less (firmware)" if firmware else "DRAM-less"
-        self._firmware_model: typing.Optional[FirmwareModel] = None
+        self._firmware_model: FirmwareModel | None = None
 
     def _build(self, sim: Simulator, energy: EnergyAccount,
                bundle: TraceBundle) -> PramBackend:

@@ -54,7 +54,7 @@ _BUILDERS: typing.Dict[str, typing.Callable[
 
 
 def build_system(name: str,
-                 config: typing.Optional[SystemConfig] = None
+                 config: SystemConfig | None = None
                  ) -> AcceleratedSystem:
     """Instantiate a system by name ("Ideal" and Table I's ten + fw)."""
     try:

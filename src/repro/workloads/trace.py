@@ -84,7 +84,7 @@ class TraceBundle:
 def generate_traces(spec: WorkloadSpec, agents: int = 7,
                     scale: float = 1.0, seed: int = 0,
                     output_base: int = OUTPUT_BASE,
-                    rounds: typing.Optional[int] = None) -> TraceBundle:
+                    rounds: int | None = None) -> TraceBundle:
     """Build deterministic per-round, per-agent traces for ``spec``.
 
     ``scale`` multiplies the reference footprint: 1.0 reproduces the

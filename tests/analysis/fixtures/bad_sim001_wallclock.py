@@ -1,0 +1,13 @@
+"""SIM001: wall-clock and ambient randomness inside a device model."""
+
+import time
+
+import random
+
+
+def now_stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()

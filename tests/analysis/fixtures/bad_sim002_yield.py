@@ -1,0 +1,9 @@
+"""SIM002: process generator yielding things that are not Events."""
+
+
+def body(sim):
+    yield sim.timeout(5.0)
+    yield 42
+    yield "latency"
+    yield (1, 2)
+    yield

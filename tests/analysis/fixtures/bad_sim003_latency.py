@@ -1,0 +1,7 @@
+"""SIM003: negative / non-numeric latencies handed to the kernel."""
+
+
+def body(sim, event):
+    yield sim.timeout(-10.0)
+    sim._schedule(-1, event)
+    yield sim.timeout("10ns")

@@ -1,0 +1,17 @@
+"""SIM004: mutable default arguments."""
+
+import collections
+
+
+def track(sample, history=[]):
+    history.append(sample)
+    return history
+
+
+def index(key, table={}):
+    return table.setdefault(key, len(table))
+
+
+def backlog(item, queue=collections.deque()):
+    queue.append(item)
+    return queue

@@ -1,0 +1,20 @@
+"""SIM005: shared-state read-modify-write spanning a yield, unlocked."""
+
+TOTAL = 0
+
+
+class Counter:
+    def __init__(self, sim):
+        self.sim = sim
+        self.count = 0
+
+    def bump(self):
+        snapshot = self.count
+        yield self.sim.timeout(10.0)
+        self.count = snapshot + 1
+
+
+def global_writer(sim):
+    global TOTAL
+    yield sim.timeout(1.0)
+    TOTAL += 1

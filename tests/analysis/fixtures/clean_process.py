@@ -1,0 +1,26 @@
+"""A well-behaved module: none of the SIM rules should fire here."""
+
+import random
+
+
+class Device:
+    def __init__(self, sim, seed=0):
+        self.sim = sim
+        self.rng = random.Random(seed)
+        self.count = 0
+        self.busy_ns = 0.0
+
+    def body(self, bus, duration):
+        grant = bus.request()
+        yield grant
+        try:
+            yield self.sim.timeout(duration)
+            self.busy_ns += duration
+        finally:
+            bus.release(grant)
+        self.count += 1
+
+
+def rows(geometry):
+    for row in range(geometry):
+        yield row, row * 2

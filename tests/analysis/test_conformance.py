@@ -1,0 +1,204 @@
+"""Three-phase addressing conformance: legal traces pass, illegal fail."""
+
+import pytest
+
+from repro.analysis import __main__ as analysis_main
+from repro.analysis.conformance import (
+    Command,
+    CommandRecord,
+    ProtocolChecker,
+    ProtocolViolationError,
+    check_trace,
+    load_trace,
+    save_trace,
+)
+from repro.controller import PramSubsystem
+from repro.controller.scheduler import SchedulerPolicy
+from repro.sim import Simulator
+
+
+def run_workload(monitor, **subsystem_kwargs):
+    """Drive a mixed read/write workload through a monitored subsystem."""
+    sim = Simulator()
+    subsystem = PramSubsystem(sim, monitor=monitor, **subsystem_kwargs)
+    payload = bytes((i * 7) % 256 for i in range(16 * 1024))
+
+    def driver():
+        yield from subsystem.write(0, payload)
+        first = yield from subsystem.read(0, len(payload))
+        assert first == payload
+        # Re-read to exercise RAB/RDB phase skipping on warm buffers.
+        again = yield from subsystem.read(0, 4096)
+        assert again == payload[:4096]
+
+    sim.process(driver())
+    sim.run()
+    return subsystem
+
+
+# ----------------------------------------------------------------------
+# Legal traces
+# ----------------------------------------------------------------------
+def test_runtime_monitor_accepts_real_controller():
+    monitor = ProtocolChecker(strict=True, record=True)
+    run_workload(monitor)
+    assert monitor.ok
+    assert monitor.commands_checked > 0
+    assert monitor.records
+
+
+def test_recorded_trace_replays_clean_offline():
+    monitor = ProtocolChecker(record=True)
+    run_workload(monitor)
+    assert check_trace(monitor.records) == []
+
+
+def test_phase_skips_happen_and_are_legal():
+    monitor = ProtocolChecker(strict=True, record=True)
+    subsystem = run_workload(monitor)
+    skips = sum(ch.phase_skips["pre_active"] for ch in subsystem.channels)
+    assert skips > 0, "workload never exercised phase skipping"
+    skip_records = [r for r in monitor.records
+                    if r.skipped_pre_active or r.skipped_activate]
+    assert skip_records, "no skip was recorded"
+    assert monitor.ok
+
+
+def test_monitored_run_with_pre_resets_and_wear_leveling():
+    monitor = ProtocolChecker(strict=True)
+    sim = Simulator()
+    subsystem = PramSubsystem(
+        sim, monitor=monitor, policy=SchedulerPolicy.FINAL,
+        wear_leveling=True, gap_write_interval=4)
+    payload = bytes(512) + bytes(range(256)) * 6
+
+    def driver():
+        subsystem.register_write_hint(0, len(payload))
+        yield from subsystem.drain_hints()
+        for _ in range(4):
+            yield from subsystem.write(0, payload)
+        data = yield from subsystem.read(0, len(payload))
+        assert data == payload
+
+    sim.process(driver())
+    sim.run()
+    assert monitor.ok
+
+
+def test_trace_save_load_round_trip(tmp_path):
+    monitor = ProtocolChecker(record=True)
+    run_workload(monitor)
+    path = tmp_path / "trace.jsonl"
+    save_trace(monitor.records, path)
+    loaded = load_trace(path)
+    assert loaded == monitor.records
+    assert analysis_main.main(["--trace", str(path)]) == 0
+
+
+# ----------------------------------------------------------------------
+# Illegal sequences
+# ----------------------------------------------------------------------
+def record(time, command, **fields):
+    return CommandRecord(time=time, channel=0, module=0,
+                         command=command, **fields)
+
+
+def test_activate_before_pre_active_rejected():
+    violations = check_trace([
+        record(0.0, Command.ACTIVATE, buffer_id=0, partition=0, row=5,
+               upper_row=0, lower_row=5),
+    ])
+    assert len(violations) == 1
+    assert "before any pre-active" in violations[0].reason
+
+
+def test_illegal_pre_active_skip_rejected():
+    violations = check_trace([
+        record(0.0, Command.PRE_ACTIVE, buffer_id=0, upper_row=1),
+        record(10.0, Command.ACTIVATE, buffer_id=0, partition=0, row=70,
+               upper_row=2, lower_row=6, skipped_pre_active=True),
+    ])
+    assert len(violations) == 1
+    assert "illegal pre-active skip" in violations[0].reason
+
+
+def test_illegal_activate_skip_rejected():
+    violations = check_trace([
+        record(0.0, Command.PRE_ACTIVE, buffer_id=1, upper_row=0),
+        record(10.0, Command.READ_BURST, buffer_id=1, partition=0, row=3,
+               skipped_activate=True),
+    ])
+    assert len(violations) == 1
+    assert "illegal activate skip" in violations[0].reason
+
+
+def test_rdb_row_mismatch_rejected():
+    violations = check_trace([
+        record(0.0, Command.PRE_ACTIVE, buffer_id=0, upper_row=0),
+        record(5.0, Command.ACTIVATE, buffer_id=0, partition=0, row=4,
+               upper_row=0, lower_row=4),
+        record(9.0, Command.READ_BURST, buffer_id=0, partition=0, row=8),
+    ])
+    assert len(violations) == 1
+    assert "burst targets partition 0 row 8" in violations[0].reason
+
+
+def test_program_made_rdb_stale():
+    violations = check_trace([
+        record(0.0, Command.PRE_ACTIVE, buffer_id=0, upper_row=0),
+        record(5.0, Command.ACTIVATE, buffer_id=0, partition=0, row=4,
+               upper_row=0, lower_row=4),
+        record(10.0, Command.STAGE_PROGRAM, partition=0, row=4),
+        record(20.0, Command.EXECUTE_PROGRAM, partition=0, row=4),
+        # The RDB copy of row 4 is now stale; bursting it is illegal.
+        record(30.0, Command.READ_BURST, buffer_id=0, partition=0, row=4),
+    ])
+    assert len(violations) == 1
+    assert "illegal activate skip" in violations[0].reason
+
+
+def test_double_stage_and_orphan_execute_rejected():
+    violations = check_trace([
+        record(0.0, Command.STAGE_PROGRAM, partition=0, row=1),
+        record(5.0, Command.STAGE_PROGRAM, partition=0, row=2),
+        record(10.0, Command.EXECUTE_PROGRAM, partition=0, row=2),
+        record(15.0, Command.EXECUTE_PROGRAM, partition=0, row=2),
+    ])
+    reasons = " | ".join(v.reason for v in violations)
+    assert len(violations) == 2
+    assert "already holds a staged program" in reasons
+    assert "no staged program" in reasons
+
+
+def test_time_going_backwards_rejected():
+    violations = check_trace([
+        record(10.0, Command.PRE_ACTIVE, buffer_id=0, upper_row=0),
+        record(5.0, Command.PRE_ACTIVE, buffer_id=1, upper_row=0),
+    ])
+    assert len(violations) == 1
+    assert "time went backwards" in violations[0].reason
+
+
+def test_strict_checker_raises_immediately():
+    checker = ProtocolChecker(strict=True)
+    with pytest.raises(ProtocolViolationError) as excinfo:
+        checker.observe(record(
+            0.0, Command.READ_BURST, buffer_id=0, partition=0, row=0))
+    assert "illegal activate skip" in str(excinfo.value)
+
+
+def test_cli_rejects_illegal_trace(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    save_trace([
+        record(0.0, Command.ACTIVATE, buffer_id=0, partition=0, row=5,
+               upper_row=0, lower_row=5),
+    ], path)
+    assert analysis_main.main(["--trace", str(path)]) == 1
+
+
+# ----------------------------------------------------------------------
+# Pytest fixture integration
+# ----------------------------------------------------------------------
+def test_protocol_monitor_fixture(protocol_monitor):
+    run_workload(protocol_monitor)
+    # teardown asserts conformance; nothing more to do here

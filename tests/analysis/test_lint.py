@@ -1,0 +1,119 @@
+"""Every SIM rule fires on its fixture and stays quiet on clean code."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import __main__ as analysis_main
+from repro.analysis.lint import lint_file, lint_paths, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def codes_in(path):
+    return [v.code for v in lint_file(path)]
+
+
+def test_sim001_wallclock_and_ambient_random():
+    codes = codes_in(FIXTURES / "bad_sim001_wallclock.py")
+    assert codes.count("SIM001") == 2
+    assert set(codes) == {"SIM001"}
+
+
+def test_sim001_messages_name_the_offender():
+    violations = lint_file(FIXTURES / "bad_sim001_wallclock.py")
+    messages = " ".join(v.message for v in violations)
+    assert "time" in messages
+    assert "random" in messages
+
+
+def test_sim002_non_event_yields():
+    violations = lint_file(FIXTURES / "bad_sim002_yield.py")
+    assert [v.code for v in violations] == ["SIM002"] * 4
+    # one violation per offending yield: int, str, tuple, bare
+    assert len({v.line for v in violations}) == 4
+
+
+def test_sim002_ignores_data_generators():
+    source = (
+        "def rows(n):\n"
+        "    for i in range(n):\n"
+        "        yield i, i * 2\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_sim003_negative_and_non_numeric_latencies():
+    violations = lint_file(FIXTURES / "bad_sim003_latency.py")
+    assert [v.code for v in violations] == ["SIM003"] * 3
+
+
+def test_sim004_mutable_defaults():
+    violations = lint_file(FIXTURES / "bad_sim004_defaults.py")
+    assert [v.code for v in violations] == ["SIM004"] * 3
+
+
+def test_sim005_stale_read_across_yield_and_global():
+    violations = lint_file(FIXTURES / "bad_sim005_race.py")
+    codes = [v.code for v in violations]
+    assert codes == ["SIM005"] * 2
+
+
+def test_sim005_quiet_when_resource_held():
+    source = (
+        "def body(self):\n"
+        "    grant = self.lock.request()\n"
+        "    yield grant\n"
+        "    snapshot = self.count\n"
+        "    yield self.sim.timeout(1.0)\n"
+        "    self.count = snapshot + 1\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_clean_fixture_is_clean():
+    assert codes_in(FIXTURES / "clean_process.py") == []
+
+
+def test_noqa_suppresses_a_single_rule():
+    assert lint_source("import time  # noqa: SIM001\n") == []
+    assert lint_source("import time  # noqa\n") == []
+    # an unrelated code does not suppress
+    assert [v.code for v in lint_source("import time  # noqa: SIM004\n")] == [
+        "SIM001"]
+
+
+def test_syntax_errors_reported_not_raised():
+    violations = lint_source("def broken(:\n")
+    assert [v.code for v in violations] == ["SIM000"]
+
+
+def test_lint_paths_walks_directories():
+    violations = lint_paths([FIXTURES])
+    assert {v.code for v in violations} == {
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005"}
+
+
+def test_repo_source_tree_is_self_clean():
+    src = pathlib.Path(__file__).parents[2] / "src" / "repro"
+    assert lint_paths([src]) == []
+
+
+@pytest.mark.parametrize("target,expected", [
+    ("fixtures", 1),
+    ("src", 0),
+])
+def test_cli_exit_codes(target, expected, capsys):
+    if target == "fixtures":
+        path = str(FIXTURES)
+    else:
+        path = str(pathlib.Path(__file__).parents[2] / "src" / "repro")
+    assert analysis_main.main([path]) == expected
+    out = capsys.readouterr().out
+    assert "violation(s)" in out
+
+
+def test_cli_json_format(capsys):
+    assert analysis_main.main([str(FIXTURES), "--format", "json"]) == 1
+    out = capsys.readouterr().out
+    assert '"SIM001"' in out

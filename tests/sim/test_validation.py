@@ -1,0 +1,62 @@
+"""Input validation on the kernel's scheduling entry points."""
+
+import pytest
+
+from repro.sim import Event, Simulator
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="negative"):
+        sim.timeout(-1.0)
+
+
+def test_nan_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="NaN"):
+        sim.timeout(float("nan"))
+
+
+def test_zero_timeout_is_fine():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(0.0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert fired == [0.0]
+
+
+def test_schedule_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="negative"):
+        sim._schedule(-5.0, Event(sim))
+
+
+def test_schedule_rejects_nan_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="NaN"):
+        sim._schedule(float("nan"), Event(sim))
+
+
+def test_run_rejects_nan_until():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="NaN"):
+        sim.run(until=float("nan"))
+
+
+def test_validation_leaves_clock_untouched():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+    assert sim.now == 0.0
+
+    def proc():
+        yield sim.timeout(3.0)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 3.0
