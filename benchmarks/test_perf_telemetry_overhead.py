@@ -1,0 +1,82 @@
+"""Null-tracer overhead guard.
+
+The telemetry rewiring put one ``tracer.enabled`` attribute load into
+``Simulator.step`` and into every instrumented component path.  This
+benchmark pins that cost: a simulation with the default null tracer
+must run within 5% of a seed-replica kernel whose ``step`` has no
+tracer hook at all.
+
+Wall-clock comparisons on shared CI machines are noisy, so the two
+variants are timed interleaved (alternating, so drift hits both
+equally), the score is the minimum over several repetitions, and a
+failing first pass gets one retry with more repetitions.
+"""
+
+import heapq
+import time
+
+from repro.controller import MemoryRequest, Op, PramSubsystem
+from repro.sim import Simulator
+
+#: Acceptance bound: traced-but-disabled runtime / seed runtime.
+MAX_OVERHEAD = 1.05
+
+#: Simulated read stream size per timing sample.
+REQUESTS = 192
+
+
+def _seed_step(self) -> None:
+    """The seed's ``Simulator.step``: no tracer hook."""
+    if not self._heap:
+        raise RuntimeError("step() on an empty event heap")
+    when, _, event = heapq.heappop(self._heap)
+    self._now = when
+    callbacks, event.callbacks = event.callbacks, []
+    event._processed = True
+    for callback in callbacks:
+        callback(event)
+
+
+def _drive() -> float:
+    sim = Simulator()
+    subsystem = PramSubsystem(sim)
+
+    def driver():
+        for index in range(REQUESTS):
+            request = MemoryRequest(Op.READ, (index * 512) % (1 << 20),
+                                    512)
+            yield sim.process(subsystem.submit(request))
+
+    sim.process(driver())
+    sim.run()
+    return sim.now
+
+
+def _sample() -> float:
+    start = time.perf_counter()
+    _drive()
+    return time.perf_counter() - start
+
+
+def _measure(repetitions: int, monkeypatch_ctx) -> float:
+    """Min-of-N interleaved ratio: null-tracer step / seed step."""
+    current: list = []
+    seed: list = []
+    for _ in range(repetitions):
+        current.append(_sample())
+        with monkeypatch_ctx() as patch:
+            patch.setattr(Simulator, "step", _seed_step)
+            seed.append(_sample())
+    return min(current) / min(seed)
+
+
+def test_null_tracer_overhead_within_bound(monkeypatch):
+    import pytest
+
+    _sample()  # warm caches/allocator before timing
+    ratio = _measure(7, pytest.MonkeyPatch.context)
+    if ratio > MAX_OVERHEAD:  # one retry with more repetitions
+        ratio = _measure(15, pytest.MonkeyPatch.context)
+    assert ratio <= MAX_OVERHEAD, (
+        f"null-tracer run is {ratio:.3f}x the seed kernel "
+        f"(bound {MAX_OVERHEAD}x)")

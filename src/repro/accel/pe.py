@@ -18,6 +18,7 @@ from repro.accel.functional_unit import FunctionalUnitSet
 from repro.accel.isa import ComputeOp, KernelOp, LoadOp, StoreOp
 from repro.accel.mcu import MemoryControllerUnit
 from repro.sim import Simulator, Store, TimeSeries
+from repro.telemetry.metrics import current_metrics
 
 #: State codes recorded into the activity series.
 STATE_SLEEP = 0.0
@@ -72,6 +73,12 @@ class ProcessingElement:
         self.stats = PeStats()
         self.activity = TimeSeries(f"pe{pe_id}.activity")
         self.ipc_series = TimeSeries(f"pe{pe_id}.ipc")
+        self._track = f"pe{pe_id}"
+        metrics = current_metrics()
+        if metrics.enabled:
+            prefix = metrics.component_prefix(f"pe.{pe_id}")
+            metrics.attach(f"{prefix}.activity", self.activity)
+            metrics.attach(f"{prefix}.ipc", self.ipc_series)
         self._state = STATE_SLEEP
         self.activity.record(sim.now, STATE_SLEEP)
         self.ipc_series.record(sim.now, 0.0)
@@ -108,10 +115,15 @@ class ProcessingElement:
                                             op.dsp_intrinsics)
         ipc = op.scalar_ops / max(1.0, duration / self.units.cycle_ns)
         self.ipc_series.record(self.sim.now, ipc)
+        start = self.sim.now
         yield self.sim.timeout(duration)
         self.ipc_series.record(self.sim.now, 0.0)
         self.stats.instructions += op.scalar_ops
         self.stats.compute_ns += duration
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("compute", self._track, start, self.sim.now,
+                        ops=op.scalar_ops)
 
     def _load(self, op: LoadOp) -> typing.Generator:
         self.stats.loads += 1
@@ -134,6 +146,10 @@ class ProcessingElement:
         elapsed = self.sim.now - start
         self.stats.stall_ns += elapsed
         self.stats.l2_miss_ns += elapsed
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("mem_stall", self._track, start, self.sim.now,
+                        address=op.address)
         self.l2.insert(block)
         self.l1.insert(block)
         self._set_state(STATE_ACTIVE)
@@ -178,6 +194,9 @@ class ProcessingElement:
         yield self._drained_event
         self.stats.stall_ns += self.sim.now - start
         self.stats.store_stall_ns += self.sim.now - start
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("store_drain", self._track, start, self.sim.now)
 
     # ------------------------------------------------------------------
     def _set_state(self, state: float) -> None:

@@ -12,6 +12,7 @@ import enum
 import typing
 
 from repro.sim import Simulator
+from repro.telemetry.metrics import current_metrics
 
 #: State-transition latencies, ns (clock/power gating sequencing).
 SLEEP_TRANSITION_NS = 500.0
@@ -40,6 +41,7 @@ class PowerSleepController:
             {state: 0.0 for state in PeState} for _ in range(pe_count)
         ]
         self.transitions = 0
+        self._metrics = current_metrics()
 
     def state(self, pe_id: int) -> PeState:
         """Current state of one PE."""
@@ -52,6 +54,10 @@ class PowerSleepController:
         self._accumulate(pe_id)
         if state is not self._state[pe_id]:
             self.transitions += 1
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.instant(f"pe{pe_id}->{state.value}", "psc",
+                               self.sim.now)
         self._state[pe_id] = state
 
     def sleep(self, pe_id: int) -> typing.Generator:
@@ -80,6 +86,10 @@ class PowerSleepController:
         elapsed = now - self._since[pe_id]
         if elapsed > 0:
             self._residency[pe_id][self._state[pe_id]] += elapsed
+            if self._metrics.enabled:
+                self._metrics.gauge(
+                    f"pe.{pe_id}.sleep_ns",
+                    self._residency[pe_id][PeState.SLEEP])
         self._since[pe_id] = now
 
     def _check(self, pe_id: int) -> None:

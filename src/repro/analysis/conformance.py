@@ -330,11 +330,25 @@ def save_trace(records: typing.Iterable[CommandRecord],
 
 def load_trace(path: typing.Union[str, Path]
                ) -> typing.List[CommandRecord]:
-    """Read a JSON-lines trace written by :func:`save_trace`."""
+    """Read a JSON-lines command trace.
+
+    Accepts both the native :func:`save_trace` format (one record dict
+    per line) and the unified ``repro.telemetry`` span log, whose lines
+    carry a ``type`` discriminator — ``command`` lines hold a record
+    under ``record``; ``span``/``instant`` lines are ignored.  One
+    capture therefore serves both the Perfetto timeline and this
+    checker.
+    """
     records = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                records.append(CommandRecord.from_dict(json.loads(line)))
+            if not line:
+                continue
+            payload = json.loads(line)
+            kind = payload.get("type")
+            if kind is None:
+                records.append(CommandRecord.from_dict(payload))
+            elif kind == "command":
+                records.append(CommandRecord.from_dict(payload["record"]))
     return records

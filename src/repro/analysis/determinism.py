@@ -12,11 +12,13 @@ between two simulation runs (and makes bug reports unreproducible).
 ordinary test function by running it twice and comparing the traces
 the kernel emitted.
 
-Tracing is cooperative: :func:`capture_trace` installs a shared sink on
-:class:`~repro.sim.engine.Simulator`, and every simulator instance
-appends ``(timestamp, event label)`` as it processes events.  The sink
-is class-level so workloads that construct their own simulators are
-still observed.
+Tracing is cooperative: :func:`capture_trace` installs an ambient
+:class:`~repro.telemetry.tracer.KernelEventRecorder`, and every
+simulator *constructed inside the context* appends ``(timestamp,
+event label)`` to the sink as it processes events.  The ambient slot
+is a context variable, so concurrent or nested captures never clobber
+each other (the seed's class-level ``Simulator._trace_sink`` did), and
+any tracer already active outside the capture keeps observing too.
 """
 
 from __future__ import annotations
@@ -24,7 +26,13 @@ from __future__ import annotations
 import contextlib
 import typing
 
-from repro.sim.engine import Simulator, TraceEntry
+from repro.sim.engine import TraceEntry
+from repro.telemetry.tracer import (
+    KernelEventRecorder,
+    combine,
+    current_tracer,
+    use_tracer,
+)
 
 
 class DeterminismError(AssertionError):
@@ -33,14 +41,17 @@ class DeterminismError(AssertionError):
 
 @contextlib.contextmanager
 def capture_trace() -> typing.Iterator[typing.List[TraceEntry]]:
-    """Context manager: collect every event any simulator processes."""
-    previous = Simulator._trace_sink
+    """Context manager: collect every event any simulator processes.
+
+    Simulators must be constructed inside the context (every workload
+    under test builds its own).  An already-active ambient tracer —
+    e.g. a :class:`~repro.telemetry.tracer.RecordingTracer` capturing a
+    Perfetto trace of the same run — is combined in, not displaced.
+    """
     sink: typing.List[TraceEntry] = []
-    Simulator._trace_sink = sink
-    try:
+    recorder = combine(KernelEventRecorder(sink), current_tracer())
+    with use_tracer(recorder):
         yield sink
-    finally:
-        Simulator._trace_sink = previous
 
 
 def trace_of(workload: typing.Callable[[], object]

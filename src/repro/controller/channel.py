@@ -35,7 +35,8 @@ from repro.controller.wear_level import (
 from repro.pram.address import AddressMap, PramAddress
 from repro.pram.module import PramModule
 from repro.pram.overlay_window import CMD_SELECTIVE_ERASE
-from repro.sim import Histogram, Resource, Simulator
+from repro.sim import Counter, Histogram, Resource, Simulator
+from repro.telemetry.metrics import current_metrics
 
 #: One hinted pre-reset target: (row address, chunk bytes, hint time).
 _HintChunk = typing.Tuple[PramAddress, int, float]
@@ -112,6 +113,38 @@ class ChannelController:
         self.chunks_written = 0
         self.pre_resets_issued = 0
         self.phase_skips = {"pre_active": 0, "activate": 0}
+        self.rab_hits = 0
+        self.rdb_hits = 0
+        # Multi-resource-interleaving evidence (Figure 12): bus time of
+        # read bursts spent while *another* partition's array access was
+        # in flight.  Tracked only when telemetry is active — the
+        # window bookkeeping is pure observation and must cost nothing
+        # on untraced runs.
+        self.overlap_ns = 0.0
+        self._array_windows: typing.List[
+            typing.Tuple[float, float, typing.Tuple[int, int]]] = []
+        metrics = current_metrics()
+        self._metrics = metrics
+        self._metrics_prefix = metrics.component_prefix(
+            f"pram.ch{channel_id}")
+        if metrics.enabled:
+            metrics.attach(f"{self._metrics_prefix}.read_latency",
+                           self.read_latency)
+            metrics.attach(f"{self._metrics_prefix}.write_latency",
+                           self.write_latency)
+            # One shared interleave counter across channels/subsystems.
+            self._overlap_counter: Counter | None = (
+                metrics.counter("sched.interleave.overlap_ns"))
+            self._skip_counters: typing.Dict[str, Counter] | None = {
+                skip: metrics.counter(
+                    f"{self._metrics_prefix}.phase_skip.{skip}")
+                for skip in ("pre_active", "activate")
+            }
+        else:
+            self._overlap_counter = None
+            self._skip_counters = None
+        self._telemetry_on = metrics.enabled or sim.tracer.enabled
+        self._bus_track = f"ch{channel_id}.bus"
 
     # ------------------------------------------------------------------
     # Public API: chunk execution processes
@@ -188,14 +221,26 @@ class ChannelController:
     def _chunk_process(self, chunk: ChunkPlan
                        ) -> typing.Generator:
         start = self.sim.now
+        tracer = self.sim.tracer
         if chunk.is_write:
             yield from self._write_chunk(chunk)
             self.write_latency.add(self.sim.now - start)
             self.chunks_written += 1
+            if tracer.enabled:
+                tracer.emit("write_chunk",
+                            f"ch{self.channel_id}.inflight",
+                            start, self.sim.now, asynchronous=True,
+                            module=chunk.address.module,
+                            partition=chunk.address.partition)
             return (chunk.offset, b"")
         data = yield from self._read_chunk(chunk)
         self.read_latency.add(self.sim.now - start)
         self.chunks_read += 1
+        if tracer.enabled:
+            tracer.emit("read_chunk", f"ch{self.channel_id}.inflight",
+                        start, self.sim.now, asynchronous=True,
+                        module=chunk.address.module,
+                        partition=chunk.address.partition)
         return (chunk.offset, data)
 
     def _read_chunk(self, chunk: ChunkPlan) -> typing.Generator:
@@ -245,18 +290,33 @@ class ChannelController:
             # themselves run inside the module without holding the bus.
             packets = (1 if need_pre_active else 0) + (
                 1 if need_activate else 0)
-            yield from self._hold_bus(self.phy.command_cost(packets))
+            yield from self._hold_bus(self.phy.command_cost(packets),
+                                      span_name="cmd")
             now = self.sim.now
+            tracer = self.sim.tracer
+            track = self._partition_track(chunk.address.module, partition)
             if need_pre_active:
                 self._observe(Command.PRE_ACTIVE, chunk.address.module,
                               buffer_id=buffer_id, upper_row=upper)
-                now = module.pre_active(now, buffer_id, upper)
+                finish = module.pre_active(now, buffer_id, upper)
+                if tracer.enabled:
+                    tracer.emit("pre_active", track, now, finish,
+                                buffer=buffer_id, upper_row=upper)
+                now = finish
             if need_activate:
                 self._observe(Command.ACTIVATE, chunk.address.module,
                               buffer_id=buffer_id, partition=partition,
                               row=row, upper_row=upper, lower_row=lower,
                               skipped_pre_active=not need_pre_active)
-                now = module.activate(now, buffer_id, partition, lower)
+                finish = module.activate(now, buffer_id, partition, lower)
+                if tracer.enabled:
+                    tracer.emit("activate", track, now, finish,
+                                buffer=buffer_id, row=row)
+                now = finish
+            # Record the array-busy window before sleeping on it, so a
+            # concurrent burst on another partition can see the overlap.
+            self._note_array_window(chunk.address.module, partition,
+                                    self.sim.now, now)
             if now > self.sim.now:
                 yield self.sim.timeout(now - self.sim.now)
         if paused:
@@ -271,7 +331,11 @@ class ChannelController:
                       skipped_activate=not need_activate)
         finish, data = module.read_burst(
             self.sim.now, buffer_id, chunk.address.column, chunk.size)
-        yield from self._hold_bus(finish - self.sim.now)
+        yield from self._hold_bus(
+            finish - self.sim.now, span_name="read_burst",
+            array_key=(chunk.address.module, partition),
+            span_args={"module": chunk.address.module,
+                       "partition": partition, "row": row})
         self.datapath.stage_load(data)
         return data
 
@@ -294,7 +358,10 @@ class ChannelController:
             stage_finish = module.stage_program(
                 self.sim.now, partition, row,
                 chunk.address.column, payload)
-            yield from self._hold_bus(stage_finish - self.sim.now)
+            yield from self._hold_bus(stage_finish - self.sim.now,
+                                      span_name="stage_program",
+                                      span_args={"module": index,
+                                                 "partition": partition})
             # The array program frees the bus but occupies the partition
             # and the module's overlay window until completion.  The
             # wait re-checks the partition clock because write pausing
@@ -302,6 +369,8 @@ class ChannelController:
             self._observe(Command.EXECUTE_PROGRAM, index,
                           partition=partition, row=row)
             module.execute_program(self.sim.now)
+            self._note_array_window(index, partition, self.sim.now,
+                                    module.partition_ready_at(partition))
             while True:
                 ready = module.partition_ready_at(partition)
                 if ready <= self.sim.now:
@@ -351,10 +420,16 @@ class ChannelController:
             stage_finish = module.stage_program(
                 self.sim.now, address.partition, address.row,
                 address.column, bytes(size), command=CMD_SELECTIVE_ERASE)
-            yield from self._hold_bus(stage_finish - self.sim.now)
+            yield from self._hold_bus(stage_finish - self.sim.now,
+                                      span_name="stage_reset",
+                                      span_args={"module": address.module,
+                                                 "partition":
+                                                 address.partition})
             self._observe(Command.EXECUTE_PROGRAM, address.module,
                           partition=address.partition, row=address.row)
             finish = module.execute_program(self.sim.now)
+            self._note_array_window(address.module, address.partition,
+                                    self.sim.now, finish)
             yield self.sim.timeout(finish - self.sim.now)
             self.pre_resets_issued += 1
         finally:
@@ -378,10 +453,23 @@ class ChannelController:
             if rdb is not None:
                 self.phase_skips["pre_active"] += 1
                 self.phase_skips["activate"] += 1
+                self.rdb_hits += 1
+                if self._skip_counters is not None:
+                    self._skip_counters["pre_active"].add()
+                    self._skip_counters["activate"].add()
+                    self._metrics.counter(
+                        f"{self._metrics_prefix}.part{partition}"
+                        ".rdb_hits").add()
                 return rdb.buffer_id, False, False
             rab = module.buffers.find_rab(upper, exclude=busy)
             if rab is not None:
                 self.phase_skips["pre_active"] += 1
+                self.rab_hits += 1
+                if self._skip_counters is not None:
+                    self._skip_counters["pre_active"].add()
+                    self._metrics.counter(
+                        f"{self._metrics_prefix}.part{partition}"
+                        ".rab_hits").add()
                 return rab.buffer_id, False, True
         if planned_buffer in busy:
             # The planner's round-robin choice is mid-use; fall back to
@@ -442,21 +530,97 @@ class ChannelController:
 
     def _observe(self, command: Command, module_index: int,
                  **fields: typing.Any) -> None:
-        """Feed one command to the conformance monitor, if attached."""
-        if self.monitor is None:
+        """Feed one command to the conformance monitor and the tracer."""
+        tracer = self.sim.tracer
+        if self.monitor is None and not tracer.enabled:
             return
-        self.monitor.observe(CommandRecord(
+        record = CommandRecord(
             time=self.sim.now, channel=self.channel_id,
-            module=module_index, command=command, **fields))
+            module=module_index, command=command, **fields)
+        if self.monitor is not None:
+            self.monitor.observe(record)
+        if tracer.enabled:
+            tracer.command(record)
 
-    def _hold_bus(self, duration: float) -> typing.Generator:
-        """Occupy the channel bus for ``duration`` ns."""
+    def _partition_track(self, module_index: int, partition: int) -> str:
+        """Trace-track name of one partition's array lane."""
+        return f"ch{self.channel_id}.m{module_index}.p{partition}"
+
+    def _note_array_window(self, module_index: int, partition: int,
+                           start: float, end: float) -> None:
+        """Remember an array-busy window for burst-overlap accounting.
+
+        No-op unless telemetry is active.  Windows are pruned lazily
+        with a generous horizon (bursts last tens of ns, the horizon is
+        10 µs), so a burst already in flight never loses a window it
+        still overlaps.
+        """
+        if not self._telemetry_on or end <= start:
+            return
+        windows = self._array_windows
+        if len(windows) > 64:
+            floor = self.sim.now - 10_000.0
+            windows = [w for w in windows if w[1] > floor]
+            self._array_windows = windows
+        windows.append((start, end, (module_index, partition)))
+
+    def _array_overlap(self, array_key: typing.Tuple[int, int],
+                       start: float, end: float) -> float:
+        """Union length of other-partition array windows inside [start, end].
+
+        This is the Figure 12 quantity: bus time of one chunk's RDB
+        burst hidden under another chunk's array access on a different
+        (module, partition).
+        """
+        clipped = []
+        for win_start, win_end, key in self._array_windows:
+            if key == array_key or win_end <= start or win_start >= end:
+                continue
+            clipped.append((max(win_start, start), min(win_end, end)))
+        if not clipped:
+            return 0.0
+        clipped.sort()
+        total = 0.0
+        merged_start, merged_end = clipped[0]
+        for piece_start, piece_end in clipped[1:]:
+            if piece_start > merged_end:
+                total += merged_end - merged_start
+                merged_start, merged_end = piece_start, piece_end
+            else:
+                merged_end = max(merged_end, piece_end)
+        total += merged_end - merged_start
+        return total
+
+    def _hold_bus(self, duration: float,
+                  span_name: str | None = None,
+                  span_args: typing.Dict[str, typing.Any] | None = None,
+                  array_key: typing.Tuple[int, int] | None = None
+                  ) -> typing.Generator:
+        """Occupy the channel bus for ``duration`` ns.
+
+        ``span_name`` labels the occupation on the bus trace track;
+        ``array_key`` marks a read burst whose overlap with other
+        partitions' array windows should be accounted (Figure 12).
+        """
         if duration <= 0:
             return
         grant = self.bus.request()
         yield grant
         try:
+            start = self.sim.now
             yield self.sim.timeout(duration)
             self.bus_busy_ns += duration
+            if span_name is not None:
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.emit(span_name, self._bus_track, start,
+                                self.sim.now, **(span_args or {}))
+                if array_key is not None and self._telemetry_on:
+                    overlap = self._array_overlap(array_key, start,
+                                                  self.sim.now)
+                    if overlap > 0.0:
+                        self.overlap_ns += overlap
+                        if self._overlap_counter is not None:
+                            self._overlap_counter.add(overlap)
         finally:
             self.bus.release(grant)

@@ -87,6 +87,14 @@ class PramSubsystem:
         ]
         results = yield self.sim.all_of(pending)
         request.complete_time = self.sim.now
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # In-flight requests overlap freely, so they export as
+            # async slices on one shared track.
+            tracer.emit(f"{request.op.value} 0x{request.address:x}",
+                        "requests", request.submit_time, self.sim.now,
+                        asynchronous=True, address=request.address,
+                        size=request.size)
         # Channels return (request offset, data) pairs; reassemble in
         # address order — a request larger than one stripe interleaves
         # back and forth across channels, so channel-major

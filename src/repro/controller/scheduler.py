@@ -18,6 +18,8 @@ from __future__ import annotations
 import enum
 import typing
 
+from repro.telemetry.metrics import current_metrics
+
 
 class SchedulerPolicy(enum.Enum):
     """The four configurations of Figure 13."""
@@ -52,6 +54,15 @@ class WriteHintStore:
         self._pending: typing.List[typing.Tuple[int, int, float]] = []
         self.registered = 0
         self.consumed = 0
+        # Shared across stores: one pair of scheduler-wide counters in
+        # the ambient registry (no-ops when telemetry is inactive).
+        metrics = current_metrics()
+        if metrics.enabled:
+            self._m_registered = metrics.counter("sched.hints.registered")
+            self._m_consumed = metrics.counter("sched.hints.consumed")
+        else:
+            self._m_registered = None
+            self._m_consumed = None
 
     def add(self, address: int, size: int,
             registered_at: float = float("inf")) -> None:
@@ -69,12 +80,16 @@ class WriteHintStore:
             raise ValueError(f"negative hint address: {address}")
         self._pending.append((address, size, registered_at))
         self.registered += 1
+        if self._m_registered is not None:
+            self._m_registered.add()
 
     def pop(self) -> typing.Tuple[int, int, float] | None:
         """Take the oldest unprocessed hint (None when drained)."""
         if not self._pending:
             return None
         self.consumed += 1
+        if self._m_consumed is not None:
+            self._m_consumed.add()
         return self._pending.pop(0)
 
     def __len__(self) -> int:

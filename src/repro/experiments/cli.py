@@ -2,12 +2,20 @@
 
 Usage::
 
-    python -m repro.experiments.cli list
-    python -m repro.experiments.cli run fig15 [--scale 0.25] [--quick]
-    python -m repro.experiments.cli run all --quick
+    python -m repro.experiments list
+    python -m repro.experiments run fig15 [--scale 0.25] [--quick]
+    python -m repro.experiments run all --quick
+    python -m repro.experiments fig12 --trace /tmp/fig12.json --metrics
 
-Each experiment prints the same text report the benchmarks write to
-``results/``.
+The ``run`` keyword may be omitted: a first argument that is not a
+subcommand is treated as an experiment id.  Each experiment prints the
+same text report the benchmarks write to ``results/``.
+
+Telemetry flags (``--trace``, ``--spans``, ``--metrics``) install an
+ambient tracer/metrics registry around the chosen experiments and
+export the capture afterwards: a Perfetto/Chrome JSON trace (load it
+at https://ui.perfetto.dev), a JSON-lines span log consumable by the
+``repro.analysis`` conformance checker, and a metrics summary table.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ import sys
 import typing
 
 from repro.experiments import runner
+from repro.telemetry import Telemetry
 from repro.experiments import (
     fig01_motivation,
     fig07_firmware,
@@ -86,7 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
                             help="trace seed (default 1)")
     run_parser.add_argument("--quick", action="store_true",
                             help="tiny two-workload configuration")
+    run_parser.add_argument("--trace", metavar="OUT.json", default=None,
+                            help="write a Perfetto/Chrome trace of the "
+                                 "run to this file")
+    run_parser.add_argument("--spans", metavar="OUT.jsonl", default=None,
+                            help="write a JSON-lines span log of the run "
+                                 "to this file")
+    run_parser.add_argument("--metrics", action="store_true",
+                            help="print the metrics summary table after "
+                                 "the reports")
     return parser
+
+
+#: argv[0] values that are real subcommands; anything else is treated
+#: as an experiment id with an implicit leading "run".
+_SUBCOMMANDS = frozenset({"list", "run"})
+
+
+def normalize_argv(
+        argv: typing.Sequence[str]) -> typing.List[str]:
+    """Insert the implicit ``run`` subcommand when it was omitted."""
+    argv = list(argv)
+    if argv and not argv[0].startswith("-") and argv[0] not in _SUBCOMMANDS:
+        argv.insert(0, "run")
+    return argv
 
 
 def config_from_args(args: argparse.Namespace) -> runner.ExperimentConfig:
@@ -100,7 +132,9 @@ def config_from_args(args: argparse.Namespace) -> runner.ExperimentConfig:
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(normalize_argv(argv))
     if args.command == "list":
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:8s} {description}")
@@ -113,10 +147,27 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
               f"try 'list'", file=sys.stderr)
         return 2
     config = config_from_args(args)
+    telemetry = (Telemetry() if args.trace or args.spans or args.metrics
+                 else None)
     for name in chosen:
         _, run_fn = EXPERIMENTS[name]
-        print(run_fn(config))
+        if telemetry is not None:
+            with telemetry.activate(), telemetry.tracer.scope(name):
+                report = run_fn(config)
+        else:
+            report = run_fn(config)
+        print(report)
         print()
+    if telemetry is not None:
+        if args.trace:
+            telemetry.write_trace(args.trace)
+            print(f"perfetto trace written to {args.trace}")
+        if args.spans:
+            telemetry.write_spanlog(args.spans)
+            print(f"span log written to {args.spans}")
+        if args.metrics:
+            print("metrics summary")
+            print(telemetry.summary())
     return 0
 
 

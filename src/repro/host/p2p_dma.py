@@ -35,17 +35,27 @@ class PeerToPeerDma:
                             size: int) -> typing.Generator:
         """SSD -> accelerator over one PCIe path; returns the data."""
         self.transfers += 1
+        start = self.sim.now
         yield from self.cpu.run(P2P_SETUP_NS)      # arm the descriptor
         data = yield from self.ssd.read(address, size)
         yield from self.link.transfer(size)
         yield from self.cpu.handle_interrupt()      # completion IRQ
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("p2p_load", "p2p", start, self.sim.now,
+                        address=address, bytes=size)
         return data
 
     def store_from_accelerator(self, address: int,
                                data: bytes) -> typing.Generator:
         """Accelerator -> SSD over one PCIe path."""
         self.transfers += 1
+        start = self.sim.now
         yield from self.cpu.run(P2P_SETUP_NS)
         yield from self.link.transfer(len(data))
         yield from self.ssd.write(address, data)
         yield from self.cpu.handle_interrupt()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("p2p_store", "p2p", start, self.sim.now,
+                        address=address, bytes=len(data))

@@ -13,6 +13,7 @@ import typing
 
 from repro.energy import EnergyAccount
 from repro.sim import Channel, Simulator
+from repro.telemetry.metrics import current_metrics
 
 #: Effective payload bandwidth, bytes/ns (Gen3 x4 after overhead).
 PCIE_BANDWIDTH = 3.2
@@ -34,11 +35,24 @@ class PcieLink:
         self.channel = Channel(sim, bandwidth, latency_ns, name=name)
         self.energy = energy
         self.transfers = 0
+        metrics = current_metrics()
+        if metrics.enabled:
+            self._m_bytes = metrics.counter(
+                f"{metrics.component_prefix(f'host.{name}')}.bytes")
+        else:
+            self._m_bytes = None
 
     def transfer(self, size: int) -> typing.Generator:
         """Process body: move ``size`` bytes across the link."""
+        start = self.sim.now
         yield self.sim.process(self.channel.transfer(size))
         self.transfers += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("transfer", self.name, start, self.sim.now,
+                        bytes=size)
+        if self._m_bytes is not None:
+            self._m_bytes.add(size)
         if self.energy is not None:
             self.energy.charge_bytes(
                 "pcie", self.energy.model.pcie_pj_per_byte, size)

@@ -21,6 +21,7 @@ from repro.pram.constants import PramGeometry, PramTimingParams
 from repro.pram.errors import AddressError, BufferMissError, ProtocolError
 from repro.pram.row_buffer import RowBufferSet
 from repro.pram.timing import TimingModel
+from repro.telemetry.tracer import current_tracer
 
 
 class PramModule:
@@ -34,6 +35,10 @@ class PramModule:
         self.timing = TimingModel(params, geometry)
         self.channel_id = channel_id
         self.module_id = module_id
+        # The module has no simulator reference (operations are timed
+        # functionally), so it binds the ambient tracer at construction
+        # to place program/reset/erase spans on its partition tracks.
+        self._tracer = current_tracer()
         self.buffers = RowBufferSet(geometry.rdb_count, geometry.row_bytes)
         self.window = ow.OverlayWindow()
         self._storage: typing.Dict[typing.Tuple[int, int], bytes] = {}
@@ -201,15 +206,24 @@ class PramModule:
             finish = self._occupy(partition, now, duration)
             self._erase_partition(partition)
             self.erases += 1
+            span_name = "erase"
         elif command == ow.CMD_SELECTIVE_ERASE:
             duration = self._apply_reset(partition, row, column, size)
             finish = self._occupy(partition, now, duration)
             self.resets += 1
+            span_name = "pre_reset"
         else:
             duration = self._apply_program(partition, row, column, payload)
             finish = self._occupy(partition, now, duration)
             self.programs += 1
+            span_name = "program"
         self._program_end[partition] = finish
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                span_name,
+                f"ch{self.channel_id}.m{self.module_id}.p{partition}",
+                max(now, finish - duration), finish, row=row)
         finish += self.timing.write_recovery()
         self.window.complete()
         return finish

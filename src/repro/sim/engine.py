@@ -9,6 +9,7 @@ import typing
 
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.telemetry.tracer import Tracer, combine, current_tracer
 
 GeneratorType = typing.Generator
 
@@ -39,20 +40,17 @@ class Simulator:
         assert sim.now == 10.0
     """
 
-    #: When set (see :func:`repro.analysis.determinism.capture_trace`),
-    #: every simulator instance appends ``(timestamp, label)`` to this
-    #: shared sink as it processes events.  Class-level on purpose: the
-    #: determinism harness must observe simulators constructed inside
-    #: the workload under test.
-    _trace_sink: typing.ClassVar[typing.List[TraceEntry] | None] = (
-        None
-    )
-
-    def __init__(self) -> None:
+    def __init__(self, tracer: Tracer | None = None) -> None:
         self._now = 0.0
         self._heap: typing.List[HeapEntry] = []
         self._counter = itertools.count()
         self._active: Process | None = None
+        # Explicit tracer and the ambient one (use_tracer) both observe
+        # this kernel; with neither active this collapses to the null
+        # tracer and step() pays one attribute load.  Binding happens at
+        # construction so harnesses (determinism capture, experiment
+        # tracing) observe every simulator built inside their scope.
+        self.tracer: Tracer = combine(tracer, current_tracer())
 
     @property
     def now(self) -> float:
@@ -109,15 +107,32 @@ class Simulator:
         """Timestamp of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def _event_label(self, event: Event) -> str:
+        """Human-readable label for a processed event.
+
+        Named events keep their name.  Anonymous events (timeouts,
+        resource grants) are labeled ``ClassName:owner`` where the owner
+        is the process waiting on them — without this, traces degrade
+        to a wall of bare ``Timeout``/``Event`` entries.
+        """
+        if event.name:
+            return event.name
+        label = type(event).__name__
+        for callback in event.callbacks:
+            owner = getattr(callback, "__self__", None)
+            if isinstance(owner, Process) and owner.name:
+                return f"{label}:{owner.name}"
+        return label
+
     def step(self) -> None:
         """Process exactly one event off the heap."""
         if not self._heap:
             raise RuntimeError("step() on an empty event heap")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
-        sink = Simulator._trace_sink
-        if sink is not None:
-            sink.append((when, event.name or type(event).__name__))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.kernel_event(when, self._event_label(event))
         callbacks, event.callbacks = event.callbacks, []
         event._processed = True
         for callback in callbacks:

@@ -28,6 +28,11 @@ class Counter:
         self.value += amount
         self.events += 1
 
+    def reset(self) -> None:
+        """Zero the accumulator for a fresh telemetry epoch."""
+        self.value = 0.0
+        self.events = 0
+
     @property
     def mean(self) -> float:
         """Average amount per recorded event (0 when empty)."""
@@ -51,6 +56,10 @@ class Breakdown:
     def get(self, category: str) -> float:
         """Total recorded for ``category`` (0 when absent)."""
         return self._parts.get(category, 0.0)
+
+    def reset(self) -> None:
+        """Drop every category for a fresh telemetry epoch."""
+        self._parts.clear()
 
     @property
     def total(self) -> float:
@@ -115,6 +124,11 @@ class TimeSeries:
         self.times.append(time)
         self.values.append(value)
 
+    def reset(self) -> None:
+        """Drop all samples for a fresh telemetry epoch."""
+        self.times.clear()
+        self.values.clear()
+
     def value_at(self, time: float) -> float:
         """Step-function lookup: last recorded value at or before ``time``."""
         index = bisect.bisect_right(self.times, time) - 1
@@ -168,9 +182,21 @@ class Histogram:
 
     def add(self, value: float) -> None:
         """Record one sample."""
-        if self.samples and value < self.samples[-1]:
+        if not self.samples:
+            # First sample (fresh or after reset): trivially sorted, and
+            # any stale False flag from a prior epoch must not survive —
+            # the old skip-on-empty path left _sorted unrefreshed, so an
+            # epoch-reusing histogram could sort needlessly or, worse,
+            # trust a stale True from a subclass clearing samples by hand.
+            self._sorted = True
+        elif value < self.samples[-1]:
             self._sorted = False
         self.samples.append(value)
+
+    def reset(self) -> None:
+        """Drop all samples for a fresh telemetry epoch."""
+        self.samples.clear()
+        self._sorted = True
 
     def __len__(self) -> int:
         return len(self.samples)

@@ -212,7 +212,10 @@ class AcceleratedSystem(abc.ABC):
         process = sim.process(driver())
         # run() drains stragglers (e.g. background pre-resets that no
         # longer matter); the run's wall clock is the driver's end.
-        sim.run()
+        # Spans recorded during the run group under one scope per
+        # (system, workload), i.e. one Perfetto process each.
+        with sim.tracer.scope(f"{self.name}:{bundle.spec.name}"):
+            sim.run()
         if not process.ok:
             raise typing.cast(BaseException, process.value)
 

@@ -1,0 +1,76 @@
+"""Telemetry for the DRAM-less stack: span tracing, metrics, exporters.
+
+Three layers, all ambient-by-default and zero-overhead when disabled:
+
+* :mod:`repro.telemetry.tracer` — hierarchical spans on simulated time
+  (``request -> channel -> phase -> array access``); the null tracer
+  allocates nothing.
+* :mod:`repro.telemetry.metrics` — a registry naming the ``sim/stats``
+  containers under dotted component paths (``pram.ch0.part3.rab_hits``).
+* :mod:`repro.telemetry.export` — Perfetto/Chrome JSON, a JSON-lines
+  span log shared with ``repro.analysis``, and a terminal summary.
+
+:class:`Telemetry` bundles all three for the experiments CLI.
+
+NOTE: ``tracer`` must stay import-light (stdlib only) — the simulator
+kernel imports it, so anything heavier would cycle.  Keep the ``tracer``
+import first here: partially-initialized-package imports from
+``sim.engine`` rely on it being fully loaded.
+"""
+
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    KernelEventRecorder,
+    MultiTracer,
+    RecordingTracer,
+    Span,
+    Tracer,
+    combine,
+    current_tracer,
+    use_tracer,
+)
+
+from repro.telemetry.metrics import (  # noqa: E402  (tracer must come first)
+    NULL_METRICS,
+    MetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
+
+from repro.telemetry.export import (  # noqa: E402
+    load_spanlog,
+    perfetto_document,
+    perfetto_events,
+    spanlog_lines,
+    spanlog_spans,
+    validate_perfetto,
+    write_perfetto,
+    write_spanlog,
+)
+
+from repro.telemetry.session import Telemetry  # noqa: E402
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "KernelEventRecorder",
+    "MetricsRegistry",
+    "MultiTracer",
+    "RecordingTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "combine",
+    "current_metrics",
+    "current_tracer",
+    "load_spanlog",
+    "perfetto_document",
+    "perfetto_events",
+    "spanlog_lines",
+    "spanlog_spans",
+    "use_metrics",
+    "use_tracer",
+    "validate_perfetto",
+    "write_perfetto",
+    "write_spanlog",
+]

@@ -1,0 +1,79 @@
+"""CLI: validate telemetry artifacts.
+
+``python -m repro.telemetry validate TRACE [--spanlog FILE]`` checks a
+Perfetto JSON export against the trace-event schema (and optionally a
+span log's line structure); exit status 0 means valid.  CI runs this on
+the trace captured from a real experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import typing
+
+from repro.telemetry.export import load_spanlog, validate_perfetto
+
+_SPANLOG_TYPES = ("span", "instant", "command")
+
+
+def _validate_spanlog(path: str) -> typing.List[str]:
+    problems = []
+    try:
+        lines = load_spanlog(path)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable span log: {error}"]
+    if not lines:
+        problems.append(f"{path}: span log is empty")
+    for index, line in enumerate(lines):
+        kind = line.get("type")
+        if kind not in _SPANLOG_TYPES:
+            problems.append(f"{path}:{index + 1}: unknown type {kind!r}")
+        elif kind == "command" and not isinstance(line.get("record"), dict):
+            problems.append(f"{path}:{index + 1}: command without record")
+        elif kind in ("span", "instant") and "track" not in line:
+            problems.append(f"{path}:{index + 1}: {kind} without track")
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Validate telemetry exports.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser(
+        "validate", help="check a Perfetto trace (and optional span log)")
+    validate.add_argument("trace", help="Perfetto JSON file to validate")
+    validate.add_argument("--spanlog", default=None,
+                          help="also validate a JSON-lines span log")
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    problems: typing.List[str] = []
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        problems.append(f"{args.trace}: unreadable trace: {error}")
+    else:
+        problems.extend(
+            f"{args.trace}: {problem}"
+            for problem in validate_perfetto(document))
+        events = document.get("traceEvents", [])
+        if isinstance(events, list):
+            print(f"{args.trace}: {len(events)} trace events")
+    if args.spanlog is not None:
+        problems.extend(_validate_spanlog(args.spanlog))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print("telemetry artifacts valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""One-stop telemetry session: tracer + metrics + export in one object.
+
+The experiments CLI and the examples use this instead of wiring the
+pieces by hand::
+
+    telemetry = Telemetry()
+    with telemetry.activate():
+        run_experiment()
+    telemetry.write_trace("trace.json")     # open in ui.perfetto.dev
+    telemetry.write_spanlog("spans.jsonl")  # feed to repro.analysis
+    print(telemetry.summary())              # terminal metrics table
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing
+
+from repro.telemetry.export import write_perfetto, write_spanlog
+from repro.telemetry.metrics import MetricsRegistry, use_metrics
+from repro.telemetry.tracer import RecordingTracer, use_tracer
+
+
+class Telemetry:
+    """A recording tracer and a metrics registry, activated together."""
+
+    def __init__(self, record_kernel_events: bool = False) -> None:
+        self.tracer = RecordingTracer(
+            record_kernel_events=record_kernel_events)
+        self.metrics = MetricsRegistry()
+
+    @contextlib.contextmanager
+    def activate(self) -> typing.Iterator["Telemetry"]:
+        """Install both as the ambient tracer/registry for the body."""
+        with use_tracer(self.tracer), use_metrics(self.metrics):
+            yield self
+
+    # -- export ---------------------------------------------------------
+    def write_trace(self, path: str) -> None:
+        """Perfetto/Chrome JSON (load at ui.perfetto.dev)."""
+        write_perfetto(self.tracer, path)
+
+    def write_spanlog(self, path: str) -> None:
+        """JSON-lines span log (spans, instants, protocol commands)."""
+        write_spanlog(self.tracer, path)
+
+    def summary(self, pattern: str = "*") -> str:
+        """Terminal metrics table (fnmatch ``pattern`` filters paths)."""
+        return self.metrics.summary_table(pattern)

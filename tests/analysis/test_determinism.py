@@ -13,6 +13,7 @@ from repro.analysis.determinism import (
 )
 from repro.controller import PramSubsystem
 from repro.sim import Simulator
+from repro.telemetry import NULL_TRACER, current_tracer
 
 
 def subsystem_workload():
@@ -59,10 +60,24 @@ def test_capture_trace_is_scoped():
     with capture_trace() as sink:
         subsystem_workload()
     assert sink
-    assert Simulator._trace_sink is None
+    assert current_tracer() is NULL_TRACER
     before = len(sink)
     subsystem_workload()  # outside the context: not observed
     assert len(sink) == before
+
+
+def test_nested_captures_do_not_clobber():
+    # The seed's class-level sink made nested captures lose the outer
+    # one; the ambient tracer restores it on exit and both observe.
+    with capture_trace() as outer:
+        with capture_trace() as inner:
+            subsystem_workload()
+        assert inner
+        assert outer == inner  # outer tracer kept observing
+        inner_len = len(inner)
+        subsystem_workload()  # inner closed: only outer grows
+        assert len(inner) == inner_len
+        assert len(outer) == 2 * inner_len
 
 
 def test_trace_entries_carry_time_and_label():

@@ -29,6 +29,35 @@ class TestParser:
         assert config.scale == 0.1
         assert config.seed == 9
 
+    def test_telemetry_flags(self):
+        args = cli.build_parser().parse_args(
+            ["run", "fig12", "--trace", "t.json", "--spans", "s.jsonl",
+             "--metrics"])
+        assert args.trace == "t.json"
+        assert args.spans == "s.jsonl"
+        assert args.metrics
+
+    def test_telemetry_flags_default_off(self):
+        args = cli.build_parser().parse_args(["run", "fig12"])
+        assert args.trace is None
+        assert args.spans is None
+        assert not args.metrics
+
+
+class TestNormalizeArgv:
+    def test_bare_experiment_gets_implicit_run(self):
+        assert cli.normalize_argv(["fig12"]) == ["run", "fig12"]
+        assert cli.normalize_argv(["fig12", "--quick"]) == [
+            "run", "fig12", "--quick"]
+
+    def test_subcommands_pass_through(self):
+        assert cli.normalize_argv(["list"]) == ["list"]
+        assert cli.normalize_argv(["run", "fig12"]) == ["run", "fig12"]
+
+    def test_flags_and_empty_pass_through(self):
+        assert cli.normalize_argv([]) == []
+        assert cli.normalize_argv(["--help"]) == ["--help"]
+
 
 class TestMain:
     def test_list_prints_every_experiment(self, capsys):
@@ -57,3 +86,39 @@ class TestMain:
         for name, (description, run_fn) in cli.EXPERIMENTS.items():
             assert description
             assert callable(run_fn)
+
+    def test_implicit_run_subcommand(self, capsys):
+        assert cli.main(["fig12"]) == 0
+        assert "interleaving" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_trace_and_spans_written_and_valid(self, tmp_path, capsys):
+        from repro.telemetry import validate_perfetto
+        from repro.telemetry.export import load_spanlog
+        import json
+
+        trace = tmp_path / "fig12.json"
+        spans = tmp_path / "fig12.jsonl"
+        assert cli.main(["fig12", "--trace", str(trace),
+                         "--spans", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert str(trace) in out
+        document = json.loads(trace.read_text())
+        assert validate_perfetto(document) == []
+        lines = load_spanlog(str(spans))
+        assert any(line["type"] == "span" for line in lines)
+        assert any(line["type"] == "command" for line in lines)
+
+    def test_metrics_flag_prints_summary(self, capsys):
+        assert cli.main(["run", "fig12", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics summary" in out
+        assert "sched.interleave.overlap_ns" in out
+        assert "phase_skip" in out
+
+    def test_untraced_run_leaves_no_ambient_telemetry(self):
+        from repro.telemetry import current_metrics, current_tracer
+        cli.main(["run", "fig12"])
+        assert not current_tracer().enabled
+        assert not current_metrics().enabled

@@ -156,3 +156,59 @@ class TestHistogram:
             hist.add(v)
         assert hist.percentile(0.0) == 1.0
         assert len(hist) == 3
+
+    def test_equal_then_smaller_inserts_resort(self):
+        # Regression: `add` once treated only strictly-descending
+        # inserts as unsorting, so an equal value followed by a smaller
+        # one could leave the sorted flag stale and corrupt percentiles.
+        hist = Histogram()
+        for v in (5.0, 5.0, 1.0, 3.0):
+            hist.add(v)
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(1.0) == 5.0
+        assert hist.percentile(0.5) == 3.0
+
+    def test_sorted_flag_tracks_tail_not_history(self):
+        hist = Histogram()
+        hist.add(2.0)
+        hist.add(1.0)   # unsorted
+        assert hist.percentile(0.0) == 1.0  # forces a sort
+        hist.add(3.0)   # appending beyond the max keeps it sorted
+        assert hist.percentile(1.0) == 3.0
+        assert hist.percentile(0.0) == 1.0
+
+
+class TestReset:
+    def test_counter_reset(self):
+        counter = Counter("bytes")
+        counter.add(10)
+        counter.reset()
+        assert counter.value == 0.0
+        assert counter.events == 0
+        assert counter.mean == 0.0
+
+    def test_breakdown_reset(self):
+        bd = Breakdown("time")
+        bd.add("compute", 5.0)
+        bd.reset()
+        assert bd.total == 0.0
+        assert bd.categories == ()
+
+    def test_histogram_reset(self):
+        hist = Histogram("lat")
+        hist.add(2.0)
+        hist.add(1.0)
+        hist.reset()
+        assert len(hist) == 0
+        assert hist.mean == 0.0
+        hist.add(4.0)
+        assert hist.percentile(0.5) == 4.0
+
+    def test_timeseries_reset(self):
+        ts = TimeSeries("ipc")
+        ts.record(5.0, 1.0)
+        ts.reset()
+        assert len(ts) == 0
+        # Time travel is legal again after a reset.
+        ts.record(1.0, 2.0)
+        assert ts.value_at(1.0) == 2.0

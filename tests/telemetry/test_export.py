@@ -1,0 +1,152 @@
+"""Exporter tests: Perfetto JSON, validation, span-log round trips."""
+
+import json
+
+from repro.telemetry import (
+    RecordingTracer,
+    Telemetry,
+    load_spanlog,
+    perfetto_document,
+    perfetto_events,
+    spanlog_spans,
+    validate_perfetto,
+    write_perfetto,
+    write_spanlog,
+)
+from repro.telemetry.__main__ import main as telemetry_main
+
+
+def _sample_tracer() -> RecordingTracer:
+    tracer = RecordingTracer()
+    with tracer.scope("pram:gemver"):
+        tracer.emit("read 0x0", "requests", 0.0, 150.0, asynchronous=True)
+        tracer.emit("pre_active", "ch0.m0.p0", 10.0, 40.0, buffer=0)
+        tracer.emit("activate", "ch0.m0.p0", 40.0, 95.0, row=3)
+        tracer.emit("read_burst", "ch0.bus", 95.0, 130.0)
+        tracer.instant("pe0->active", "psc", 100.0)
+    with tracer.scope("pram:doitg"):
+        tracer.emit("compute", "pe0", 0.0, 50.0, ops=64)
+    return tracer
+
+
+class TestPerfettoExport:
+    def test_document_validates_clean(self):
+        assert validate_perfetto(perfetto_document(_sample_tracer())) == []
+
+    def test_scopes_become_processes_tracks_become_threads(self):
+        events = perfetto_events(_sample_tracer())
+        processes = {e["args"]["name"]: e["pid"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        threads = {(e["pid"], e["args"]["name"]): e["tid"] for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert set(processes) == {"pram:gemver", "pram:doitg"}
+        assert (processes["pram:gemver"], "ch0.bus") in threads
+        assert (processes["pram:doitg"], "pe0") in threads
+
+    def test_async_spans_export_as_b_e_pairs(self):
+        events = perfetto_events(_sample_tracer())
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert len(begins) == len(ends) == 1
+        assert begins[0]["id"] == ends[0]["id"]
+        assert begins[0]["name"] == "read 0x0"
+
+    def test_sync_spans_export_as_complete_events(self):
+        events = perfetto_events(_sample_tracer())
+        xs = {e["name"]: e for e in events if e["ph"] == "X"}
+        # ts is microseconds (ns / 1000).
+        assert xs["pre_active"]["ts"] == 0.01
+        assert xs["pre_active"]["dur"] == 0.03
+
+    def test_event_ts_is_globally_monotonic(self):
+        events = [e for e in perfetto_events(_sample_tracer())
+                  if e["ph"] != "M"]
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_file_round_trip_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_perfetto(_sample_tracer(), str(path))
+        document = json.loads(path.read_text())
+        assert validate_perfetto(document) == []
+        assert document["displayTimeUnit"] == "ns"
+
+    def test_per_track_ts_monotonic_after_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_perfetto(_sample_tracer(), str(path))
+        document = json.loads(path.read_text())
+        per_track = {}
+        for event in document["traceEvents"]:
+            if event["ph"] == "M":
+                continue
+            per_track.setdefault((event["pid"], event["tid"]),
+                                 []).append(event["ts"])
+        for stamps in per_track.values():
+            assert stamps == sorted(stamps)
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_perfetto([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_perfetto({}) == ["missing or non-list 'traceEvents'"]
+
+    def test_flags_unknown_phase(self):
+        problems = validate_perfetto(
+            {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1}]})
+        assert any("unknown phase" in p for p in problems)
+
+    def test_flags_negative_ts(self):
+        problems = validate_perfetto(
+            {"traceEvents": [{"ph": "X", "name": "x", "pid": 1,
+                              "tid": 1, "ts": -1.0, "dur": 1.0}]})
+        assert any("bad ts" in p for p in problems)
+
+    def test_flags_async_without_id(self):
+        problems = validate_perfetto(
+            {"traceEvents": [{"ph": "b", "name": "x", "pid": 1,
+                              "tid": 1, "ts": 0.0}]})
+        assert any("async" in p for p in problems)
+
+
+class TestSpanLog:
+    def test_round_trip_preserves_spans(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "spans.jsonl"
+        write_spanlog(tracer, str(path))
+        spans = spanlog_spans(str(path))
+        assert {s.name for s in spans} == {s.name for s in tracer.spans}
+        burst = next(s for s in spans if s.name == "read_burst")
+        assert burst.start_ns == 95.0
+        assert burst.end_ns == 130.0
+        assert burst.scope == "pram:gemver"
+
+    def test_lines_are_time_ordered_typed_json(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_spanlog(_sample_tracer(), str(path))
+        lines = load_spanlog(str(path))
+        assert all(line["type"] in ("span", "instant", "command")
+                   for line in lines)
+        starts = [line.get("start_ns", 0.0) for line in lines]
+        assert starts == sorted(starts)
+
+
+class TestValidateCli:
+    def test_validate_accepts_good_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        spans = tmp_path / "t.jsonl"
+        telemetry = Telemetry()
+        with telemetry.activate():
+            telemetry.tracer.emit("a", "t", 0.0, 1.0)
+        telemetry.write_trace(str(trace))
+        telemetry.write_spanlog(str(spans))
+        assert telemetry_main(
+            ["validate", str(trace), "--spanlog", str(spans)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bad.json"
+        trace.write_text(json.dumps({"traceEvents": "nope"}))
+        assert telemetry_main(["validate", str(trace)]) == 1
+        assert capsys.readouterr().err
