@@ -1,16 +1,33 @@
 """Shared benchmark configuration and the cached execution matrix.
 
 Every benchmark runs its experiment exactly once (pedantic, one round)
-and writes its text report to ``results/``.  Figures 15-17 share the
-expensive full system x workload matrix through a session fixture.
+and writes its text report to ``results/`` under a provenance header,
+so a checked-in result is attributable to the commit, scale, and seed
+that produced it.  Figures 15-17 share the expensive full system x
+workload matrix through a session fixture.
+
+Benchmarks also feed scalar metrics into a session-wide
+``BENCH_<git-sha>.json`` trajectory file (see
+:mod:`repro.telemetry.bench`) via the ``bench_record`` fixture; the
+file lands in ``results/`` (override the path with ``REPRO_BENCH_OUT``)
+and is what ``python -m repro.telemetry compare`` diffs across
+commits.
 """
 
+import os
 import pathlib
 
 import pytest
 
 from repro.experiments.runner import ExperimentConfig, run_matrix
 from repro.systems import SYSTEM_NAMES
+from repro.telemetry.bench import (
+    BenchMetric,
+    BenchReport,
+    bench_filename,
+    collect_provenance,
+    write_bench,
+)
 
 #: The benchmark evaluation configuration: full suite, quarter-scale
 #: footprints with shrunken caches (footprint >> cache, as in the
@@ -18,6 +35,15 @@ from repro.systems import SYSTEM_NAMES
 BENCH_CONFIG = ExperimentConfig(scale=0.25)
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Metrics accumulated by ``bench_record`` over the whole session.
+_BENCH_METRICS = {}
+
+
+def _provenance():
+    return collect_provenance(scale=BENCH_CONFIG.scale,
+                              seed=BENCH_CONFIG.seed,
+                              agents=BENCH_CONFIG.agents)
 
 
 @pytest.fixture(scope="session")
@@ -37,6 +63,41 @@ def results_dir():
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record one scalar into the session's BENCH_*.json trajectory.
+
+    Usage: ``bench_record("fig12.hidden_fraction", 0.43,
+    better="higher", unit="fraction")``.  ``better`` declares the
+    regression direction for ``telemetry compare``.
+    """
+    def record(name, value, better="neutral", unit=""):
+        _BENCH_METRICS[name] = BenchMetric(
+            value=float(value), better=better, unit=unit)
+    return record
+
+
 def write_report(results_dir: pathlib.Path, name: str, text: str) -> None:
-    """Persist one experiment's text report."""
-    (results_dir / f"{name}.txt").write_text(text + "\n")
+    """Persist one experiment's text report under a provenance header."""
+    provenance = _provenance()
+    header = "\n".join(
+        f"# {key}: {provenance[key]}"
+        for key in ("git_sha", "scale", "seed", "agents", "timestamp"))
+    (results_dir / f"{name}.txt").write_text(
+        header + "\n\n" + text + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the accumulated metrics as one BENCH_<sha>.json."""
+    if not _BENCH_METRICS:
+        return
+    provenance = _provenance()
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        path = pathlib.Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / bench_filename(provenance["git_sha"])
+    write_bench(BenchReport(provenance=provenance,
+                            metrics=dict(_BENCH_METRICS)), path)

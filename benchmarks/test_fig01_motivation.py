@@ -4,12 +4,17 @@ from benchmarks.conftest import write_report
 from repro.experiments import fig01_motivation
 
 
-def test_fig01_motivation(benchmark, bench_config, results_dir):
+def test_fig01_motivation(benchmark, bench_config, results_dir,
+                          bench_record):
     result = benchmark.pedantic(
         fig01_motivation.run, args=(bench_config,), rounds=1, iterations=1)
 
     write_report(results_dir, "fig01_motivation",
                  fig01_motivation.report(result))
+    bench_record("fig01.max_degradation", result["max_degradation"],
+                 better="neutral", unit="fraction")
+    bench_record("fig01.mean_energy_ratio", result["mean_energy_ratio"],
+                 better="neutral", unit="x")
     # Paper: performance degrades as much as 74%; energy inflates ~9x.
     # Shape claims: substantial degradation, substantial energy blowup.
     assert 0.30 <= result["max_degradation"] <= 0.95

@@ -4,12 +4,20 @@ from benchmarks.conftest import write_report
 from repro.experiments import fig12_interleaving_timing
 
 
-def test_fig12_interleaving(benchmark, results_dir):
+def test_fig12_interleaving(benchmark, results_dir, bench_record):
     result = benchmark.pedantic(fig12_interleaving_timing.run,
                                 rounds=1, iterations=1)
 
     write_report(results_dir, "fig12_interleaving",
                  fig12_interleaving_timing.report(result))
+    bench_record("fig12.hidden_fraction", result["hidden_fraction"],
+                 better="higher", unit="fraction")
+    bench_record("fig12.interleaved_total_ns",
+                 result["interleaved_completions_ns"][-1],
+                 better="lower", unit="ns")
+    bench_record("fig12.bare_metal_total_ns",
+                 result["bare_metal_completions_ns"][-1],
+                 better="lower", unit="ns")
     # Abstract: "the new memory interleaving technique can hide the
     # memory access latency behind the corresponding data transfer
     # time by 40%".

@@ -4,12 +4,20 @@ from benchmarks.conftest import write_report
 from repro.experiments import fig13_schedulers
 
 
-def test_fig13_schedulers(benchmark, bench_config, results_dir):
+def test_fig13_schedulers(benchmark, bench_config, results_dir,
+                          bench_record):
     result = benchmark.pedantic(
         fig13_schedulers.run, args=(bench_config,), rounds=1, iterations=1)
     write_report(results_dir, "fig13_schedulers",
                  fig13_schedulers.report(result))
     rows = {row["workload"]: row for row in result["rows"]}
+    bench_record("fig13.max_interleaving_gain",
+                 result["max_interleaving_gain"],
+                 better="higher", unit="fraction")
+    bench_record("fig13.mean_final_speedup",
+                 sum(r["final"] for r in result["rows"])
+                 / len(result["rows"]),
+                 better="higher", unit="x")
     # Paper: interleaving improves bandwidth by as high as 54% (trmm).
     assert result["max_interleaving_gain"] >= 0.30
     # The biggest interleaving winner is a read-leaning workload —

@@ -5,7 +5,7 @@ from repro.experiments import fig15_bandwidth
 
 
 def test_fig15_bandwidth(benchmark, bench_config, full_matrix,
-                         results_dir):
+                         results_dir, bench_record):
     result = benchmark.pedantic(
         fig15_bandwidth.run,
         kwargs={"config": bench_config, "matrix": full_matrix},
@@ -14,6 +14,14 @@ def test_fig15_bandwidth(benchmark, bench_config, full_matrix,
     write_report(results_dir, "fig15_bandwidth",
                  fig15_bandwidth.report(result))
     means = result["means"]
+    bench_record("fig15.dramless_vs_hetero",
+                 result["dramless_vs_hetero"],
+                 better="higher", unit="fraction")
+    bench_record("fig15.dramless_vs_heterodirect",
+                 result["dramless_vs_heterodirect"],
+                 better="higher", unit="fraction")
+    bench_record("fig15.dramless_mean_throughput", means["DRAM-less"],
+                 better="higher", unit="normalized")
     # Headline shape claims (paper values in parentheses):
     # DRAM-less beats Hetero decisively (+93%).
     assert result["dramless_vs_hetero"] >= 0.5

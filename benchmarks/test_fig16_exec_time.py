@@ -5,7 +5,7 @@ from repro.experiments import fig16_exec_time
 
 
 def test_fig16_exec_time(benchmark, bench_config, full_matrix,
-                         results_dir):
+                         results_dir, bench_record):
     result = benchmark.pedantic(
         fig16_exec_time.run,
         kwargs={"config": bench_config, "matrix": full_matrix},
@@ -14,6 +14,12 @@ def test_fig16_exec_time(benchmark, bench_config, full_matrix,
     write_report(results_dir, "fig16_exec_time",
                  fig16_exec_time.report(result))
     fractions = result["mean_fractions"]
+    bench_record("fig16.dramless_compute_fraction",
+                 fractions["DRAM-less"]["computation"],
+                 better="higher", unit="fraction")
+    bench_record("fig16.hetero_compute_fraction",
+                 fractions["Hetero"]["computation"],
+                 better="neutral", unit="fraction")
     # Heterogeneous systems spend real time staging/writing back data;
     # integrated/PRAM systems never stage.
     for name in ("Hetero", "Heterodirect", "Hetero-PRAM",

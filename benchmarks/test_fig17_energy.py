@@ -4,7 +4,8 @@ from benchmarks.conftest import write_report
 from repro.experiments import fig17_energy
 
 
-def test_fig17_energy(benchmark, bench_config, full_matrix, results_dir):
+def test_fig17_energy(benchmark, bench_config, full_matrix, results_dir,
+                      bench_record):
     result = benchmark.pedantic(
         fig17_energy.run,
         kwargs={"config": bench_config, "matrix": full_matrix},
@@ -13,6 +14,11 @@ def test_fig17_energy(benchmark, bench_config, full_matrix, results_dir):
     write_report(results_dir, "fig17_energy", fig17_energy.report(result))
     means = result["mean_mj"]
     categories = result["category_mj"]
+    bench_record("fig17.dramless_mean_mj", means["DRAM-less"],
+                 better="lower", unit="mJ")
+    bench_record("fig17.dramless_fraction_of_heterodirect",
+                 result["dramless_fraction_of_heterodirect"],
+                 better="lower", unit="fraction")
     # Paper: DRAM-less consumes ~19% of the advanced (P2P) systems'
     # energy; shape band: well under half.
     assert result["dramless_fraction_of_heterodirect"] <= 0.5

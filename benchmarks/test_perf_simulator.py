@@ -24,9 +24,14 @@ def drive_read_stream(requests: int = 512) -> float:
     return sim.now
 
 
-def test_perf_subsystem_read_stream(benchmark):
+def test_perf_subsystem_read_stream(benchmark, bench_record):
     simulated_ns = benchmark(drive_read_stream)
     assert simulated_ns > 0
+    # Simulated (not wall-clock) completion time: deterministic, so a
+    # movement across commits is a real change in the modeled memory
+    # subsystem, not host noise.
+    bench_record("perf.read_stream_simulated_ns", simulated_ns,
+                 better="lower", unit="ns")
 
 
 def test_perf_event_kernel(benchmark):

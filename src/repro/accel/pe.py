@@ -79,6 +79,10 @@ class ProcessingElement:
             prefix = metrics.component_prefix(f"pe.{pe_id}")
             metrics.attach(f"{prefix}.activity", self.activity)
             metrics.attach(f"{prefix}.ipc", self.ipc_series)
+            self._store_depth_series: TimeSeries | None = metrics.series(
+                f"{prefix}.store_queue_depth")
+        else:
+            self._store_depth_series = None
         self._state = STATE_SLEEP
         self.activity.record(sim.now, STATE_SLEEP)
         self.ipc_series.record(sim.now, 0.0)
@@ -164,6 +168,9 @@ class ProcessingElement:
         payload = bytes([self.pe_id + 1]) * op.size
         start = self.sim.now
         self._outstanding_stores += 1
+        if self._store_depth_series is not None:
+            self._store_depth_series.record(
+                self.sim.now, float(self._outstanding_stores))
         yield self._store_queue.put((op.address, payload))
         waited = self.sim.now - start
         if waited > 0:  # buffer was full: a real write-pressure stall
@@ -180,6 +187,9 @@ class ProcessingElement:
             address, payload = yield self._store_queue.get()
             yield from self.mcu.store(address, payload)
             self._outstanding_stores -= 1
+            if self._store_depth_series is not None:
+                self._store_depth_series.record(
+                    self.sim.now, float(self._outstanding_stores))
             if self._outstanding_stores == 0 and (
                     self._drained_event is not None):
                 self._drained_event.succeed()

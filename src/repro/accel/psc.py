@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import typing
 
-from repro.sim import Simulator
+from repro.sim import Counter, Simulator, TimeSeries
 from repro.telemetry.metrics import current_metrics
 
 #: State-transition latencies, ns (clock/power gating sequencing).
@@ -25,6 +25,10 @@ class PeState(enum.Enum):
     SLEEP = "sleep"    # power-gated by the PSC
     IDLE = "idle"      # awake, waiting (e.g. memory stall)
     ACTIVE = "active"  # retiring instructions
+
+
+#: Numeric level per state for the recorded timeline.
+_STATE_LEVEL = {PeState.SLEEP: 0, PeState.IDLE: 1, PeState.ACTIVE: 2}
 
 
 class PowerSleepController:
@@ -42,6 +46,22 @@ class PowerSleepController:
         ]
         self.transitions = 0
         self._metrics = current_metrics()
+        if self._metrics.enabled:
+            prefix = self._metrics.component_prefix("psc")
+            # Numeric state timeline per PE (0=sleep, 1=idle, 2=active):
+            # the per-PE run/sleep timeline the profile dashboard shows.
+            self._state_series: typing.List[TimeSeries] | None = [
+                self._metrics.series(f"{prefix}.pe{pe}.state")
+                for pe in range(pe_count)
+            ]
+            self._transition_counter: Counter | None = (
+                self._metrics.counter(f"{prefix}.transitions"))
+            for pe in range(pe_count):
+                self._state_series[pe].record(
+                    sim.now, float(_STATE_LEVEL[PeState.SLEEP]))
+        else:
+            self._state_series = None
+            self._transition_counter = None
 
     def state(self, pe_id: int) -> PeState:
         """Current state of one PE."""
@@ -54,6 +74,11 @@ class PowerSleepController:
         self._accumulate(pe_id)
         if state is not self._state[pe_id]:
             self.transitions += 1
+            if self._transition_counter is not None:
+                self._transition_counter.add()
+            if self._state_series is not None:
+                self._state_series[pe_id].record(
+                    self.sim.now, float(_STATE_LEVEL[state]))
             tracer = self.sim.tracer
             if tracer.enabled:
                 tracer.instant(f"pe{pe_id}->{state.value}", "psc",

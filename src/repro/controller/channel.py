@@ -140,9 +140,21 @@ class ChannelController:
                     f"{self._metrics_prefix}.phase_skip.{skip}")
                 for skip in ("pre_active", "activate")
             }
+            self._bus_counter: Counter | None = metrics.counter(
+                f"{self._metrics_prefix}.bus_busy_ns")
+            # RAB/RDB pair occupancy across the channel's modules: the
+            # time-weighted series is the "RDB occupancy" gauge, the
+            # static gauge is its ceiling.
+            self._pairs_series = metrics.series(
+                f"{self._metrics_prefix}.pairs_in_use")
+            metrics.gauge(f"{self._metrics_prefix}.pair_capacity",
+                          float(pair_count * len(self.modules)))
         else:
             self._overlap_counter = None
             self._skip_counters = None
+            self._bus_counter = None
+            self._pairs_series = None
+        self._pairs_in_use = 0
         self._telemetry_on = metrics.enabled or sim.tracer.enabled
         self._bus_track = f"ch{channel_id}.bus"
 
@@ -222,6 +234,7 @@ class ChannelController:
                        ) -> typing.Generator:
         start = self.sim.now
         tracer = self.sim.tracer
+        req = chunk.request.request_id
         if chunk.is_write:
             yield from self._write_chunk(chunk)
             self.write_latency.add(self.sim.now - start)
@@ -231,7 +244,7 @@ class ChannelController:
                             f"ch{self.channel_id}.inflight",
                             start, self.sim.now, asynchronous=True,
                             module=chunk.address.module,
-                            partition=chunk.address.partition)
+                            partition=chunk.address.partition, req=req)
             return (chunk.offset, b"")
         data = yield from self._read_chunk(chunk)
         self.read_latency.add(self.sim.now - start)
@@ -240,7 +253,7 @@ class ChannelController:
             tracer.emit("read_chunk", f"ch{self.channel_id}.inflight",
                         start, self.sim.now, asynchronous=True,
                         module=chunk.address.module,
-                        partition=chunk.address.partition)
+                        partition=chunk.address.partition, req=req)
         return (chunk.offset, data)
 
     def _read_chunk(self, chunk: ChunkPlan) -> typing.Generator:
@@ -256,6 +269,10 @@ class ChannelController:
         # not happened yet and stream the wrong row.
         slot = self._pair_slots[chunk.address.module].request()
         yield slot
+        if self._pairs_series is not None:
+            self._pairs_in_use += 1
+            self._pairs_series.record(self.sim.now,
+                                      float(self._pairs_in_use))
         busy = self._busy_pairs[chunk.address.module]
         # No yield between the grant above and the add below, so the
         # probe and the reservation are atomic under cooperative
@@ -270,6 +287,10 @@ class ChannelController:
         finally:
             busy.discard(buffer_id)
             self._pair_slots[chunk.address.module].release(slot)
+            if self._pairs_series is not None:
+                self._pairs_in_use -= 1
+                self._pairs_series.record(self.sim.now,
+                                          float(self._pairs_in_use))
         return data
 
     def _issue_read_phases(self, chunk: ChunkPlan, module: PramModule,
@@ -278,6 +299,7 @@ class ChannelController:
                            need_pre_active: bool,
                            need_activate: bool) -> typing.Generator:
         paused = False
+        req = chunk.request.request_id
         if (self.write_pausing and need_activate
                 and module.program_in_flight(partition, self.sim.now)):
             paused = module.pause_program(partition, self.sim.now,
@@ -291,7 +313,8 @@ class ChannelController:
             packets = (1 if need_pre_active else 0) + (
                 1 if need_activate else 0)
             yield from self._hold_bus(self.phy.command_cost(packets),
-                                      span_name="cmd")
+                                      span_name="cmd",
+                                      span_args={"req": req})
             now = self.sim.now
             tracer = self.sim.tracer
             track = self._partition_track(chunk.address.module, partition)
@@ -301,7 +324,8 @@ class ChannelController:
                 finish = module.pre_active(now, buffer_id, upper)
                 if tracer.enabled:
                     tracer.emit("pre_active", track, now, finish,
-                                buffer=buffer_id, upper_row=upper)
+                                buffer=buffer_id, upper_row=upper,
+                                req=req)
                 now = finish
             if need_activate:
                 self._observe(Command.ACTIVATE, chunk.address.module,
@@ -311,7 +335,7 @@ class ChannelController:
                 finish = module.activate(now, buffer_id, partition, lower)
                 if tracer.enabled:
                     tracer.emit("activate", track, now, finish,
-                                buffer=buffer_id, row=row)
+                                buffer=buffer_id, row=row, req=req)
                 now = finish
             # Record the array-busy window before sleeping on it, so a
             # concurrent burst on another partition can see the overlap.
@@ -335,7 +359,7 @@ class ChannelController:
             finish - self.sim.now, span_name="read_burst",
             array_key=(chunk.address.module, partition),
             span_args={"module": chunk.address.module,
-                       "partition": partition, "row": row})
+                       "partition": partition, "row": row, "req": req})
         self.datapath.stage_load(data)
         return data
 
@@ -347,6 +371,7 @@ class ChannelController:
 
         partition = chunk.address.partition
         row = self._physical_row(index, partition, chunk.address.row)
+        req = chunk.request.request_id
         window = self._window_locks[index].request()
         yield window
         try:
@@ -361,14 +386,15 @@ class ChannelController:
             yield from self._hold_bus(stage_finish - self.sim.now,
                                       span_name="stage_program",
                                       span_args={"module": index,
-                                                 "partition": partition})
+                                                 "partition": partition,
+                                                 "req": req})
             # The array program frees the bus but occupies the partition
             # and the module's overlay window until completion.  The
             # wait re-checks the partition clock because write pausing
             # can extend an in-flight program.
             self._observe(Command.EXECUTE_PROGRAM, index,
                           partition=partition, row=row)
-            module.execute_program(self.sim.now)
+            module.execute_program(self.sim.now, req=req)
             self._note_array_window(index, partition, self.sim.now,
                                     module.partition_ready_at(partition))
             while True:
@@ -376,7 +402,17 @@ class ChannelController:
                 if ready <= self.sim.now:
                     break
                 yield self.sim.timeout(ready - self.sim.now)
-            yield self.sim.timeout(module.timing.write_recovery())
+            recovery = module.timing.write_recovery()
+            if recovery > 0:
+                recovery_start = self.sim.now
+                yield self.sim.timeout(recovery)
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.emit("write_recovery",
+                                self._partition_track(index, partition),
+                                recovery_start, self.sim.now,
+                                module=index, partition=partition,
+                                req=req)
             yield from self._account_write(index, partition)
         finally:
             self._window_locks[index].release(window)
@@ -610,11 +646,14 @@ class ChannelController:
             start = self.sim.now
             yield self.sim.timeout(duration)
             self.bus_busy_ns += duration
+            if self._bus_counter is not None:
+                self._bus_counter.add(duration)
             if span_name is not None:
-                tracer = self.sim.tracer
-                if tracer.enabled:
-                    tracer.emit(span_name, self._bus_track, start,
-                                self.sim.now, **(span_args or {}))
+                # Overlap is computed before the span goes out so the
+                # burst span carries its own credit: per-request credits
+                # then sum to sched.interleave.overlap_ns by identity,
+                # not by re-derivation.
+                overlap = 0.0
                 if array_key is not None and self._telemetry_on:
                     overlap = self._array_overlap(array_key, start,
                                                   self.sim.now)
@@ -622,5 +661,12 @@ class ChannelController:
                         self.overlap_ns += overlap
                         if self._overlap_counter is not None:
                             self._overlap_counter.add(overlap)
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    args = dict(span_args) if span_args else {}
+                    if array_key is not None:
+                        args["overlap"] = overlap
+                    tracer.emit(span_name, self._bus_track, start,
+                                self.sim.now, **args)
         finally:
             self.bus.release(grant)

@@ -21,6 +21,7 @@ from repro.pram.address import AddressMap
 from repro.pram.constants import PramGeometry, PramTimingParams
 from repro.pram.module import PramModule
 from repro.sim import Simulator
+from repro.telemetry.metrics import current_metrics
 
 
 class PramSubsystem:
@@ -67,6 +68,14 @@ class PramSubsystem:
         self.boot_latency_ns = Initializer().boot(
             [m for channel in self.modules for m in channel])
         self.requests_completed = 0
+        self._inflight = 0
+        metrics = current_metrics()
+        self._metrics_on = metrics.enabled
+        if self._metrics_on:
+            prefix = metrics.component_prefix("subsys")
+            self.queue_depth = metrics.series(f"{prefix}.queue_depth")
+            self.request_latency = metrics.histogram(
+                f"{prefix}.request_latency_ns")
 
     # ------------------------------------------------------------------
     # MCU-facing API
@@ -78,6 +87,9 @@ class PramSubsystem:
         to their channels; channels proceed independently.
         """
         request.submit_time = self.sim.now
+        if self._metrics_on:
+            self._inflight += 1
+            self.queue_depth.record(self.sim.now, float(self._inflight))
         if self.firmware is not None:
             yield self.sim.process(self.firmware.admit())
         by_channel = self.planner.chunks_by_channel(request)
@@ -87,14 +99,21 @@ class PramSubsystem:
         ]
         results = yield self.sim.all_of(pending)
         request.complete_time = self.sim.now
+        if self._metrics_on:
+            self._inflight -= 1
+            self.queue_depth.record(self.sim.now, float(self._inflight))
+            self.request_latency.add(request.latency)
         tracer = self.sim.tracer
         if tracer.enabled:
             # In-flight requests overlap freely, so they export as
-            # async slices on one shared track.
+            # async slices on one shared track.  The `req` argument keys
+            # the attribution pass: hardware spans carrying the same id
+            # are this request's critical path.
             tracer.emit(f"{request.op.value} 0x{request.address:x}",
                         "requests", request.submit_time, self.sim.now,
                         asynchronous=True, address=request.address,
-                        size=request.size)
+                        size=request.size, req=request.request_id,
+                        op=request.op.value)
         # Channels return (request offset, data) pairs; reassemble in
         # address order — a request larger than one stripe interleaves
         # back and forth across channels, so channel-major

@@ -54,9 +54,11 @@ class WriteHintStore:
         self._pending: typing.List[typing.Tuple[int, int, float]] = []
         self.registered = 0
         self.consumed = 0
+        self.peak_depth = 0
         # Shared across stores: one pair of scheduler-wide counters in
         # the ambient registry (no-ops when telemetry is inactive).
-        metrics = current_metrics()
+        self._metrics = current_metrics()
+        metrics = self._metrics
         if metrics.enabled:
             self._m_registered = metrics.counter("sched.hints.registered")
             self._m_consumed = metrics.counter("sched.hints.consumed")
@@ -80,6 +82,12 @@ class WriteHintStore:
             raise ValueError(f"negative hint address: {address}")
         self._pending.append((address, size, registered_at))
         self.registered += 1
+        if len(self._pending) > self.peak_depth:
+            self.peak_depth = len(self._pending)
+            # Scheduler-wide high-water mark: how deep the backlog of
+            # announced-but-not-yet-reset regions ever grew.
+            self._metrics.gauge_max("sched.hints.depth_peak",
+                                    float(self.peak_depth))
         if self._m_registered is not None:
             self._m_registered.add()
 

@@ -25,7 +25,7 @@ import sys
 import typing
 
 from repro.experiments import runner
-from repro.telemetry import Telemetry
+from repro.telemetry import Telemetry, build_profile, render_html, render_text
 from repro.experiments import (
     fig01_motivation,
     fig07_firmware,
@@ -104,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--metrics", action="store_true",
                             help="print the metrics summary table after "
                                  "the reports")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="print a latency-attribution and "
+                                 "utilization profile per experiment")
+    run_parser.add_argument("--report", metavar="OUT.html", default=None,
+                            help="write a self-contained HTML profile "
+                                 "dashboard to this file")
     return parser
 
 
@@ -147,13 +153,30 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
               f"try 'list'", file=sys.stderr)
         return 2
     config = config_from_args(args)
-    telemetry = (Telemetry() if args.trace or args.spans or args.metrics
-                 else None)
+    # --metrics alone keeps the null-tracer fast path (record_spans
+    # False leaves the ambient tracer null); any span consumer turns
+    # recording on.
+    want_spans = bool(args.trace or args.spans or args.profile
+                      or args.report)
+    telemetry = (Telemetry(record_spans=want_spans)
+                 if want_spans or args.metrics else None)
+    profiles = []
     for name in chosen:
         _, run_fn = EXPERIMENTS[name]
         if telemetry is not None:
+            mark = len(telemetry.tracer.spans)
+            overlap_counter = telemetry.metrics.counter(
+                "sched.interleave.overlap_ns")
+            overlap_before = overlap_counter.value
             with telemetry.activate(), telemetry.tracer.scope(name):
                 report = run_fn(config)
+            if want_spans:
+                # The counter is cumulative across experiments; the
+                # profile wants this experiment's contribution only.
+                profiles.append(build_profile(
+                    name, telemetry.tracer.spans[mark:],
+                    overlap_total_ns=(overlap_counter.value
+                                      - overlap_before)))
         else:
             report = run_fn(config)
         print(report)
@@ -165,6 +188,14 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         if args.spans:
             telemetry.write_spanlog(args.spans)
             print(f"span log written to {args.spans}")
+        if args.profile:
+            for profile in profiles:
+                print(render_text(profile))
+                print()
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(render_html(profiles))
+            print(f"profile dashboard written to {args.report}")
         if args.metrics:
             print("metrics summary")
             print(telemetry.summary())

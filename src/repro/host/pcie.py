@@ -42,15 +42,25 @@ class PcieLink:
         else:
             self._m_bytes = None
 
-    def transfer(self, size: int) -> typing.Generator:
-        """Process body: move ``size`` bytes across the link."""
+    def transfer(self, size: int,
+                 request_id: int | None = None) -> typing.Generator:
+        """Process body: move ``size`` bytes across the link.
+
+        ``request_id`` tags the emitted span with the memory request the
+        transfer serves, so latency attribution can charge PCIe time to
+        that request.
+        """
         start = self.sim.now
         yield self.sim.process(self.channel.transfer(size))
         self.transfers += 1
         tracer = self.sim.tracer
         if tracer.enabled:
-            tracer.emit("transfer", self.name, start, self.sim.now,
-                        bytes=size)
+            if request_id is not None:
+                tracer.emit("transfer", self.name, start, self.sim.now,
+                            bytes=size, req=request_id)
+            else:
+                tracer.emit("transfer", self.name, start, self.sim.now,
+                            bytes=size)
         if self._m_bytes is not None:
             self._m_bytes.add(size)
         if self.energy is not None:

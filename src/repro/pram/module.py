@@ -186,12 +186,16 @@ class PramModule:
         return (now + self.timing.activate() + self.timing.write_preamble()
                 + self.timing.burst(len(data)))
 
-    def execute_program(self, now: float) -> float:
+    def execute_program(self, now: float,
+                        req: int | None = None) -> float:
         """Poke the execute register: program staged data to the array.
 
         Returns the completion time.  The target partition is busy for
         the whole array program; the overlay window frees at the same
-        instant (status register back to idle).
+        instant (status register back to idle).  ``req`` tags the
+        emitted span with the owning memory request for latency
+        attribution; background work (pre-resets, gap moves) leaves it
+        unset.
         """
         self.window.write_register(ow.REG_EXECUTE, 1)
         command, flat, size, payload = self.window.launch()
@@ -220,10 +224,13 @@ class PramModule:
         self._program_end[partition] = finish
         tracer = self._tracer
         if tracer.enabled:
+            args: typing.Dict[str, typing.Any] = {"row": row}
+            if req is not None:
+                args["req"] = req
             tracer.emit(
                 span_name,
                 f"ch{self.channel_id}.m{self.module_id}.p{partition}",
-                max(now, finish - duration), finish, row=row)
+                max(now, finish - duration), finish, **args)
         finish += self.timing.write_recovery()
         self.window.complete()
         return finish

@@ -51,6 +51,9 @@ class Simulator:
         # construction so harnesses (determinism capture, experiment
         # tracing) observe every simulator built inside their scope.
         self.tracer: Tracer = combine(tracer, current_tracer())
+        # Kernel-event count for traced runs; counted only inside the
+        # tracer.enabled branch of step() so untraced runs pay nothing.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -132,6 +135,7 @@ class Simulator:
         self._now = when
         tracer = self.tracer
         if tracer.enabled:
+            self.events_processed += 1
             tracer.kernel_event(when, self._event_label(event))
         callbacks, event.callbacks = event.callbacks, []
         event._processed = True

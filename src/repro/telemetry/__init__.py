@@ -50,27 +50,95 @@ from repro.telemetry.export import (  # noqa: E402
 
 from repro.telemetry.session import Telemetry  # noqa: E402
 
+from repro.telemetry.profile import (  # noqa: E402
+    SEGMENTS,
+    AttributionSummary,
+    RequestAttribution,
+    attribute_requests,
+    summarize,
+    verify_attribution,
+)
+
+from repro.telemetry.gauges import (  # noqa: E402
+    IntervalGauge,
+    LittlesLawCheck,
+    TrackUtilization,
+    capture_window,
+    littles_law,
+    request_depth_series,
+    track_gauges,
+    utilization_table,
+)
+
+from repro.telemetry.bench import (  # noqa: E402
+    BenchMetric,
+    BenchReport,
+    CompareResult,
+    MetricDelta,
+    bench_filename,
+    collect_provenance,
+    compare,
+    load_bench,
+    render_compare,
+    write_bench,
+)
+
+from repro.telemetry.dashboard import (  # noqa: E402
+    ExperimentProfile,
+    build_profile,
+    render_html,
+    render_text,
+)
+
 __all__ = [
     "NULL_METRICS",
     "NULL_TRACER",
+    "SEGMENTS",
+    "AttributionSummary",
+    "BenchMetric",
+    "BenchReport",
+    "CompareResult",
+    "ExperimentProfile",
+    "IntervalGauge",
     "KernelEventRecorder",
+    "LittlesLawCheck",
+    "MetricDelta",
     "MetricsRegistry",
     "MultiTracer",
     "RecordingTracer",
+    "RequestAttribution",
     "Span",
     "Telemetry",
+    "TrackUtilization",
     "Tracer",
+    "attribute_requests",
+    "bench_filename",
+    "build_profile",
+    "capture_window",
+    "collect_provenance",
     "combine",
+    "compare",
     "current_metrics",
     "current_tracer",
+    "littles_law",
+    "load_bench",
     "load_spanlog",
     "perfetto_document",
     "perfetto_events",
+    "render_compare",
+    "render_html",
+    "render_text",
+    "request_depth_series",
     "spanlog_lines",
     "spanlog_spans",
+    "summarize",
+    "track_gauges",
     "use_metrics",
     "use_tracer",
+    "utilization_table",
     "validate_perfetto",
+    "verify_attribution",
+    "write_bench",
     "write_perfetto",
     "write_spanlog",
 ]

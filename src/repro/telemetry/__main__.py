@@ -1,9 +1,13 @@
-"""CLI: validate telemetry artifacts.
+"""CLI: validate telemetry artifacts and compare benchmark trajectories.
 
 ``python -m repro.telemetry validate TRACE [--spanlog FILE]`` checks a
 Perfetto JSON export against the trace-event schema (and optionally a
 span log's line structure); exit status 0 means valid.  CI runs this on
 the trace captured from a real experiment.
+
+``python -m repro.telemetry compare BASELINE.json CANDIDATE.json``
+diffs two ``BENCH_*.json`` reports metric by metric and exits 1 when
+any metric moved in its bad direction beyond ``--threshold``.
 """
 
 from __future__ import annotations
@@ -13,6 +17,12 @@ import json
 import sys
 import typing
 
+from repro.telemetry.bench import (
+    DEFAULT_THRESHOLD,
+    compare as compare_bench,
+    load_bench,
+    render_compare,
+)
 from repro.telemetry.export import load_spanlog, validate_perfetto
 
 _SPANLOG_TYPES = ("span", "instant", "command")
@@ -47,11 +57,38 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("trace", help="Perfetto JSON file to validate")
     validate.add_argument("--spanlog", default=None,
                           help="also validate a JSON-lines span log")
+    compare = sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json reports; exit 1 on regressions")
+    compare.add_argument("baseline", help="baseline BENCH_*.json")
+    compare.add_argument("candidate", help="candidate BENCH_*.json")
+    compare.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative change flagged as a regression "
+             f"(default {DEFAULT_THRESHOLD:.0%})")
     return parser
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_bench(args.baseline)
+        candidate = load_bench(args.candidate)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        print(f"unreadable bench report: {error}", file=sys.stderr)
+        return 2
+    result = compare_bench(baseline, candidate,
+                           threshold=args.threshold)
+    base_sha = baseline.provenance.get("git_sha", "?")
+    cand_sha = candidate.provenance.get("git_sha", "?")
+    print(f"baseline {base_sha} -> candidate {cand_sha}")
+    print(render_compare(result))
+    return 1 if result.regressions else 0
 
 
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _run_compare(args)
     problems: typing.List[str] = []
     try:
         with open(args.trace, encoding="utf-8") as handle:

@@ -1,0 +1,220 @@
+"""Per-experiment profile reports: terminal tables and standalone HTML.
+
+:func:`build_profile` folds one experiment's span capture through the
+attribution pass (:mod:`repro.telemetry.profile`) and the utilization
+gauges (:mod:`repro.telemetry.gauges`) into a single
+:class:`ExperimentProfile`; :func:`render_text` prints it for
+``repro-experiments --profile`` and :func:`render_html` writes the
+``--report`` dashboard — a single self-contained file (inline CSS, no
+external assets) that CI can upload as an artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import html
+import typing
+
+from repro.telemetry import gauges as gauges_mod
+from repro.telemetry import profile as profile_mod
+from repro.telemetry.tracer import Span
+
+
+@dataclasses.dataclass
+class ExperimentProfile:
+    """Everything the dashboard shows for one experiment."""
+
+    name: str
+    window_ns: float
+    attributions: typing.List[profile_mod.RequestAttribution]
+    summary: profile_mod.AttributionSummary
+    utilization: typing.List[gauges_mod.TrackUtilization]
+    littles: gauges_mod.LittlesLawCheck | None
+    invariant_problems: typing.List[str]
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Interleave-hidden time as a share of summed latency (Fig 12)."""
+        if self.summary.total_latency_ns <= 0:
+            return 0.0
+        return (self.summary.overlap_total_ns
+                / self.summary.total_latency_ns)
+
+
+def build_profile(name: str, spans: typing.Sequence[Span],
+                  overlap_total_ns: float | None = None
+                  ) -> ExperimentProfile:
+    """Attribute, gauge, and invariant-check one experiment's capture."""
+    attributions = profile_mod.attribute_requests(spans)
+    summary = profile_mod.summarize(attributions)
+    window = gauges_mod.capture_window(spans)
+    return ExperimentProfile(
+        name=name,
+        window_ns=window[1] - window[0],
+        attributions=attributions,
+        summary=summary,
+        utilization=gauges_mod.utilization_table(spans, window),
+        littles=gauges_mod.littles_law(spans),
+        invariant_problems=profile_mod.verify_attribution(
+            attributions, overlap_total_ns),
+    )
+
+
+def _fmt_ns(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.3f} ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.3f} us"
+    return f"{value:.1f} ns"
+
+
+def render_text(profile: ExperimentProfile,
+                max_tracks: int = 12) -> str:
+    """Terminal rendering of one experiment profile."""
+    count = profile.summary.request_count
+    mean_latency = (_fmt_ns(profile.summary.total_latency_ns / count)
+                    if count else "-")
+    lines = [f"profile: {profile.name}",
+             f"  window {_fmt_ns(profile.window_ns)}, {count} requests, "
+             f"mean latency {mean_latency}"]
+    lines.append("  latency attribution (mean per request / share of "
+                 "end-to-end):")
+    means = profile.summary.segment_means()
+    fractions = profile.summary.segment_fractions()
+    for segment in profile_mod.SEGMENTS:
+        mean = means.get(segment, 0.0)
+        if mean == 0.0:
+            continue
+        tag = " (hidden by interleaving)" \
+            if segment == "interleave_hidden" else ""
+        lines.append(f"    {segment:<18} {_fmt_ns(mean):>12}  "
+                     f"{fractions.get(segment, 0.0):6.1%}{tag}")
+    if profile.utilization:
+        lines.append("  busiest tracks:")
+        for row in profile.utilization[:max_tracks]:
+            lines.append(f"    {row.track:<18} {row.utilization:6.1%} "
+                         f"busy  ({row.span_count} spans, "
+                         f"{_fmt_ns(row.busy_ns)})")
+        dropped = len(profile.utilization) - max_tracks
+        if dropped > 0:
+            lines.append(f"    ... {dropped} more track(s)")
+    if profile.littles is not None:
+        check = profile.littles
+        lines.append(
+            f"  little's law: L={check.mean_depth:.4f} vs "
+            f"lambda*W={check.predicted_depth:.4f} "
+            f"(ratio {check.ratio:.6f}, "
+            f"{'consistent' if check.consistent(1e-6) else 'INCONSISTENT'})")
+    if profile.invariant_problems:
+        lines.append(f"  ATTRIBUTION INVARIANT VIOLATED "
+                     f"({len(profile.invariant_problems)} problem(s)):")
+        for problem in profile.invariant_problems[:10]:
+            lines.append(f"    - {problem}")
+    else:
+        lines.append("  attribution invariant: holds "
+                     f"(overlap credited "
+                     f"{_fmt_ns(profile.summary.overlap_total_ns)}, "
+                     f"{profile.hidden_fraction:.1%} of latency hidden)")
+    return "\n".join(lines)
+
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { padding: 0.25rem 0.8rem; text-align: right;
+         border-bottom: 1px solid #ddd; font-size: 0.9rem; }
+th:first-child, td:first-child { text-align: left; }
+.bar { display: inline-block; height: 0.7rem; background: #4361ee;
+       vertical-align: middle; }
+.bar.hidden { background: #2ec4b6; }
+.ok { color: #2a9d2a; } .bad { color: #c1121f; font-weight: bold; }
+.meta { color: #666; font-size: 0.85rem; }
+"""
+
+
+def _segment_rows(profile: ExperimentProfile) -> str:
+    means = profile.summary.segment_means()
+    fractions = profile.summary.segment_fractions()
+    rows = []
+    for segment in profile_mod.SEGMENTS:
+        mean = means.get(segment, 0.0)
+        if mean == 0.0:
+            continue
+        share = fractions.get(segment, 0.0)
+        bar_class = "bar hidden" if segment == "interleave_hidden" \
+            else "bar"
+        rows.append(
+            f"<tr><td>{html.escape(segment)}</td>"
+            f"<td>{_fmt_ns(mean)}</td><td>{share:.1%}</td>"
+            f"<td style='text-align:left'>"
+            f"<span class='{bar_class}' "
+            f"style='width:{min(share, 1.0) * 20:.2f}rem'></span>"
+            f"</td></tr>")
+    return "".join(rows)
+
+
+def _utilization_rows(profile: ExperimentProfile) -> str:
+    rows = []
+    for row in profile.utilization:
+        rows.append(
+            f"<tr><td>{html.escape(row.track)}</td>"
+            f"<td>{row.utilization:.1%}</td>"
+            f"<td>{_fmt_ns(row.busy_ns)}</td>"
+            f"<td>{row.span_count}</td>"
+            f"<td style='text-align:left'>"
+            f"<span class='bar' "
+            f"style='width:{min(row.utilization, 1.0) * 20:.2f}rem'>"
+            f"</span></td></tr>")
+    return "".join(rows)
+
+
+def render_html(profiles: typing.Sequence[ExperimentProfile],
+                title: str = "repro experiment profiles") -> str:
+    """Self-contained HTML dashboard for one or more experiments."""
+    sections = []
+    for profile in profiles:
+        summary = profile.summary
+        mean_latency = (summary.total_latency_ns / summary.request_count
+                        if summary.request_count else 0.0)
+        if profile.invariant_problems:
+            problems = "".join(
+                f"<li>{html.escape(p)}</li>"
+                for p in profile.invariant_problems[:20])
+            invariant = (f"<p class='bad'>attribution invariant violated"
+                         f"</p><ul>{problems}</ul>")
+        else:
+            invariant = (f"<p class='ok'>attribution invariant holds — "
+                         f"{_fmt_ns(summary.overlap_total_ns)} "
+                         f"({profile.hidden_fraction:.1%} of latency) "
+                         f"hidden by interleaving</p>")
+        littles = ""
+        if profile.littles is not None:
+            check = profile.littles
+            state = ("<span class='ok'>consistent</span>"
+                     if check.consistent(1e-6)
+                     else "<span class='bad'>INCONSISTENT</span>")
+            littles = (f"<p class='meta'>Little's law: "
+                       f"L = {check.mean_depth:.4f}, "
+                       f"&lambda;&middot;W = {check.predicted_depth:.4f}, "
+                       f"ratio {check.ratio:.6f} — {state}</p>")
+        sections.append(f"""
+<h2>{html.escape(profile.name)}</h2>
+<p class='meta'>window {_fmt_ns(profile.window_ns)} ·
+{summary.request_count} requests · mean latency
+{_fmt_ns(mean_latency)}</p>
+{invariant}
+<h3>latency attribution</h3>
+<table><tr><th>segment</th><th>mean/request</th><th>share</th>
+<th></th></tr>{_segment_rows(profile)}</table>
+<h3>track utilization</h3>
+<table><tr><th>track</th><th>busy</th><th>busy time</th>
+<th>spans</th><th></th></tr>{_utilization_rows(profile)}</table>
+{littles}
+""")
+    body = "".join(sections) if sections else "<p>no captures</p>"
+    return (f"<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{html.escape(title)}</title>"
+            f"<style>{_CSS}</style></head><body>"
+            f"<h1>{html.escape(title)}</h1>{body}</body></html>\n")

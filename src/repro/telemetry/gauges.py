@@ -1,0 +1,273 @@
+"""Time-weighted utilization gauges on simulated time.
+
+:class:`IntervalGauge` is the primitive: a busy-interval accumulator
+whose occupancy can be sampled at any instant — including *while a hold
+is still open* (re-entrant sampling clips the open interval at the
+sample point), over a window the run never reached (intervals clip at
+the window edge), or over a zero-duration run (utilization 0, never a
+division by zero).
+
+On top of it, :func:`track_gauges` folds a span recording into one
+gauge per hardware track, so a traced run yields partition busy%,
+channel-bus utilization, and per-PE run timelines with no extra
+instrumentation; :func:`request_depth_series` rebuilds the in-flight
+request-queue depth from the async request spans; and
+:func:`littles_law` cross-checks that depth against the measured
+latency (L = λ·W — the time-weighted mean depth must equal throughput
+times mean latency over the capture window, which for a fully captured
+run holds to float precision).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.sim.stats import TimeSeries
+from repro.telemetry.tracer import Span
+
+#: Tracks that hold overlapping in-flight work rather than an
+#: exclusive hardware resource; busy% is meaningless for them.
+_QUEUE_TRACK_SUFFIXES = (".inflight",)
+_QUEUE_TRACKS = frozenset({"requests", "psc"})
+
+
+def merged_length(
+        intervals: typing.Iterable[typing.Tuple[float, float]]) -> float:
+    """Total length of the union of (start, end) intervals."""
+    ordered = sorted((lo, hi) for lo, hi in intervals if hi > lo)
+    if not ordered:
+        return 0.0
+    pieces: typing.List[float] = []
+    merged_lo, merged_hi = ordered[0]
+    for lo, hi in ordered[1:]:
+        if lo > merged_hi:
+            pieces.append(merged_hi - merged_lo)
+            merged_lo, merged_hi = lo, hi
+        else:
+            merged_hi = max(merged_hi, hi)
+    pieces.append(merged_hi - merged_lo)
+    return math.fsum(pieces)
+
+
+class IntervalGauge:
+    """Busy-interval accumulator with time-weighted sampling.
+
+    ``acquire``/``release`` track a (possibly nested) hold on a
+    resource; ``add_interval`` records a closed busy window directly.
+    Nested holds count once — occupancy is a union, not a sum.
+    """
+
+    def __init__(self, name: str = "gauge") -> None:
+        self.name = name
+        self._intervals: typing.List[typing.Tuple[float, float]] = []
+        self._depth = 0
+        self._since = 0.0
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth of open holds."""
+        return self._depth
+
+    @property
+    def interval_count(self) -> int:
+        """Closed busy intervals recorded so far."""
+        return len(self._intervals)
+
+    def acquire(self, now: float) -> None:
+        """Open (or nest) a hold starting at ``now``."""
+        if math.isnan(now):
+            raise ValueError("cannot acquire at NaN")
+        if self._depth == 0:
+            self._since = now
+        self._depth += 1
+
+    def release(self, now: float) -> None:
+        """Close one hold; the outermost close records the interval."""
+        if self._depth <= 0:
+            raise ValueError(f"gauge {self.name!r}: release without acquire")
+        self._depth -= 1
+        if self._depth == 0:
+            self.add_interval(self._since, now)
+
+    def add_interval(self, start: float, end: float) -> None:
+        """Record one closed busy window (zero-length windows drop)."""
+        if math.isnan(start) or math.isnan(end):
+            raise ValueError("cannot record a NaN interval")
+        if end < start:
+            raise ValueError(
+                f"gauge {self.name!r}: interval ends before it starts "
+                f"({start} -> {end})")
+        if end > start:
+            self._intervals.append((start, end))
+
+    def busy_ns(self, start: float, end: float) -> float:
+        """Union busy time inside [start, end].
+
+        Intervals extending past the window clip at its edges; an open
+        hold is sampled re-entrantly, clipped at ``end`` (the sim-end
+        clip: sampling mid-run never counts time that has not been
+        simulated yet).
+        """
+        if end <= start:
+            return 0.0
+        window = [(max(lo, start), min(hi, end))
+                  for lo, hi in self._intervals if hi > start and lo < end]
+        if self._depth > 0 and self._since < end:
+            window.append((max(self._since, start), end))
+        return merged_length(window)
+
+    def utilization(self, start: float, end: float) -> float:
+        """Busy fraction over [start, end] (0.0 for an empty window)."""
+        if end <= start:
+            return 0.0
+        return self.busy_ns(start, end) / (end - start)
+
+
+@dataclasses.dataclass
+class TrackUtilization:
+    """One hardware lane's occupancy over the capture window."""
+
+    track: str
+    busy_ns: float
+    utilization: float
+    span_count: int
+
+
+@dataclasses.dataclass
+class LittlesLawCheck:
+    """L = λ·W cross-check between queue depth and measured latency."""
+
+    window_ns: float
+    request_count: int
+    mean_depth: float           # L: time-weighted in-flight requests
+    throughput_per_ns: float    # λ: completions per simulated ns
+    mean_latency_ns: float      # W: mean end-to-end request latency
+    predicted_depth: float      # λ·W
+
+    @property
+    def ratio(self) -> float:
+        """L / (λ·W); 1.0 when the telemetry is self-consistent."""
+        if self.predicted_depth == 0.0:
+            return 1.0 if self.mean_depth == 0.0 else math.inf
+        return self.mean_depth / self.predicted_depth
+
+    def consistent(self, tolerance: float = 1e-6) -> bool:
+        """Does Little's law hold within ``tolerance``?"""
+        return abs(self.ratio - 1.0) <= tolerance
+
+
+def _is_resource_track(track: str) -> bool:
+    if track in _QUEUE_TRACKS:
+        return False
+    return not any(track.endswith(suffix)
+                   for suffix in _QUEUE_TRACK_SUFFIXES)
+
+
+def track_gauges(spans: typing.Sequence[Span]
+                 ) -> typing.Dict[str, IntervalGauge]:
+    """One busy gauge per exclusive-resource track in ``spans``.
+
+    Queue-like tracks (``requests``, ``*.inflight``, ``psc``) are
+    excluded: their spans overlap by design, so busy% would saturate
+    meaninglessly.
+    """
+    gauges: typing.Dict[str, IntervalGauge] = {}
+    for span in spans:
+        if span.asynchronous or not _is_resource_track(span.track):
+            continue
+        gauge = gauges.get(span.track)
+        if gauge is None:
+            gauge = IntervalGauge(span.track)
+            gauges[span.track] = gauge
+        gauge.add_interval(span.start_ns, span.end_ns)
+    return gauges
+
+
+def capture_window(spans: typing.Sequence[Span]
+                   ) -> typing.Tuple[float, float]:
+    """The simulated window ``spans`` cover: (0, latest end).
+
+    Simulations start at t=0, so utilization is "fraction of the run",
+    not "fraction of the span's own lifetime".  Returns ``(0.0, 0.0)``
+    for an empty capture (the zero-duration-run case).
+    """
+    if not spans:
+        return (0.0, 0.0)
+    return (0.0, max(span.end_ns for span in spans))
+
+
+def utilization_table(
+        spans: typing.Sequence[Span],
+        window: typing.Tuple[float, float] | None = None,
+) -> typing.List[TrackUtilization]:
+    """Per-track busy time and utilization, busiest first."""
+    if window is None:
+        window = capture_window(spans)
+    start, end = window
+    counts: typing.Dict[str, int] = {}
+    for span in spans:
+        if not span.asynchronous and _is_resource_track(span.track):
+            counts[span.track] = counts.get(span.track, 0) + 1
+    table = []
+    for track, gauge in track_gauges(spans).items():
+        busy = gauge.busy_ns(start, end)
+        table.append(TrackUtilization(
+            track=track, busy_ns=busy,
+            utilization=gauge.utilization(start, end),
+            span_count=counts.get(track, 0)))
+    table.sort(key=lambda row: (-row.utilization, row.track))
+    return table
+
+
+def request_depth_series(spans: typing.Sequence[Span]) -> TimeSeries:
+    """In-flight request depth rebuilt from the async request spans.
+
+    Completions sort before submissions at the same instant, so a
+    back-to-back handoff never shows a phantom depth spike.
+    """
+    deltas: typing.List[typing.Tuple[float, int]] = []
+    for span in spans:
+        if span.track != "requests" or not span.asynchronous:
+            continue
+        deltas.append((span.start_ns, 1))
+        deltas.append((span.end_ns, -1))
+    deltas.sort()
+    series = TimeSeries("requests.depth")
+    depth = 0
+    for time, delta in deltas:
+        depth += delta
+        series.record(time, float(depth))
+    return series
+
+
+def littles_law(
+        spans: typing.Sequence[Span]) -> LittlesLawCheck | None:
+    """Cross-check queue depth against latency over a full capture.
+
+    Returns None when the capture holds no request spans or spans no
+    time (a zero-duration run has nothing to check).
+    """
+    requests = [span for span in spans
+                if span.track == "requests" and span.asynchronous]
+    if not requests:
+        return None
+    start = min(span.start_ns for span in requests)
+    end = max(span.end_ns for span in requests)
+    if end <= start:
+        return None
+    window = end - start
+    depth = request_depth_series(requests)
+    mean_depth = depth.time_weighted_mean(start, end)
+    latencies = [span.end_ns - span.start_ns for span in requests]
+    mean_latency = math.fsum(latencies) / len(latencies)
+    throughput = len(latencies) / window
+    return LittlesLawCheck(
+        window_ns=window,
+        request_count=len(requests),
+        mean_depth=mean_depth,
+        throughput_per_ns=throughput,
+        mean_latency_ns=mean_latency,
+        predicted_depth=throughput * mean_latency,
+    )

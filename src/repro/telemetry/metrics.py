@@ -92,6 +92,14 @@ class MetricsRegistry:
             return
         self._gauges[path] = value
 
+    def gauge_max(self, path: str, value: float) -> None:
+        """Raise a scalar gauge to ``value`` if it is the new peak."""
+        if not self.enabled:
+            return
+        current = self._gauges.get(path)
+        if current is None or value > current:
+            self._gauges[path] = value
+
     # -- get-or-create containers --------------------------------------
     def counter(self, path: str) -> Counter:
         """Shared counter at ``path`` (created on first use)."""

@@ -1,0 +1,271 @@
+"""Critical-path latency attribution over recorded spans.
+
+PR 2's tracer answers "what happened when"; this pass answers *where
+the nanoseconds of one request went*.  Every request span (the async
+slices on the ``requests`` track) is decomposed into named segments:
+
+``queue_wait``
+    Time inside the request window covered by none of the request's
+    own hardware spans — arbitration for the channel bus, RAB/RDB pair
+    slots, the serial lock of the bare-metal policy, firmware
+    admission, partition contention.
+``bus``
+    Shared-bus occupancy that is not the data burst itself: command
+    packets (``cmd``) and program staging (``stage_program``).
+``preactive`` / ``activate``
+    The first two LPDDR2-NVM phases (RAB latch, tRP; RDB sense, tRCD).
+``array_access``
+    Array program time of writes (``program``) plus write recovery.
+``rdb_burst``
+    Phase 3: the RDB data burst over the channel bus.
+``pcie``
+    Host-link transfer time attributed to the request.
+``interleave_hidden``
+    The Figure 12 quantity: burst time that ran *while another
+    partition's array access was in flight* — latency the
+    multi-resource interleaving scheduler hid.  Credited from the
+    ``overlap`` argument the channel computes on each burst span, so
+    per-request credits sum exactly to ``sched.interleave.overlap_ns``.
+
+The sweep partitions the request window exactly: every instant of
+``[submit, complete]`` lands in exactly one segment (overlapping
+same-request spans are collapsed by a fixed priority), so the segment
+durations *other than* ``interleave_hidden`` sum to the end-to-end
+latency — equivalently, all segments minus the credited overlap sum to
+it.  :func:`verify_attribution` enforces this invariant to float
+precision; the Fig. 12 integration test runs it on a real capture.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.telemetry.tracer import Span
+
+#: Attribution segments in report order.
+SEGMENTS: typing.Tuple[str, ...] = (
+    "queue_wait",
+    "bus",
+    "preactive",
+    "activate",
+    "array_access",
+    "rdb_burst",
+    "pcie",
+    "interleave_hidden",
+)
+
+#: span name -> segment (spans with other names never attribute).
+SPAN_SEGMENT: typing.Dict[str, str] = {
+    "cmd": "bus",
+    "stage_program": "bus",
+    "stage_reset": "bus",
+    "pre_active": "preactive",
+    "activate": "activate",
+    "program": "array_access",
+    "write_recovery": "array_access",
+    "read_burst": "rdb_burst",
+    "transfer": "pcie",
+}
+
+#: Collapse order when same-request spans overlap in time (smaller
+#: wins): the deepest pipeline stage claims the instant.
+_PRIORITY: typing.Dict[str, int] = {
+    "rdb_burst": 0,
+    "activate": 1,
+    "preactive": 2,
+    "array_access": 3,
+    "bus": 4,
+    "pcie": 5,
+}
+
+#: Invariant tolerances: exact up to float summation error.
+REL_TOL = 1e-9
+ABS_TOL = 1e-6
+
+
+@dataclasses.dataclass
+class RequestAttribution:
+    """Where one request's end-to-end latency went."""
+
+    request_id: int
+    op: str
+    address: int
+    size: int
+    scope: str
+    start_ns: float
+    end_ns: float
+    #: segment -> ns; the non-hidden segments partition the window.
+    segments: typing.Dict[str, float]
+    #: credited interleave overlap (== ``segments["interleave_hidden"]``).
+    overlap_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        """End-to-end simulated latency of the request."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def attributed_ns(self) -> float:
+        """Sum of all segments minus the credited overlap.
+
+        Equals :attr:`latency_ns` up to float summation error — the
+        exactness invariant.
+        """
+        return math.fsum(self.segments.values()) - self.overlap_ns
+
+    def dominant_segment(self) -> str:
+        """The segment that claimed the most time (ties: report order)."""
+        return max(SEGMENTS, key=lambda seg: self.segments.get(seg, 0.0))
+
+
+@dataclasses.dataclass
+class AttributionSummary:
+    """Aggregate view of many request attributions."""
+
+    request_count: int
+    total_latency_ns: float
+    segment_totals: typing.Dict[str, float]
+    overlap_total_ns: float
+
+    def segment_means(self) -> typing.Dict[str, float]:
+        """Mean ns per request for each segment."""
+        if self.request_count == 0:
+            return {segment: 0.0 for segment in SEGMENTS}
+        return {segment: total / self.request_count
+                for segment, total in self.segment_totals.items()}
+
+    def segment_fractions(self) -> typing.Dict[str, float]:
+        """Each segment's share of the summed end-to-end latency."""
+        if self.total_latency_ns <= 0:
+            return {segment: 0.0 for segment in SEGMENTS}
+        return {segment: total / self.total_latency_ns
+                for segment, total in self.segment_totals.items()}
+
+
+def attribute_requests(
+        spans: typing.Sequence[Span]) -> typing.List[RequestAttribution]:
+    """Attribute every request span found in ``spans``.
+
+    Requests are matched to their hardware spans through the ``req``
+    span argument the instrumented channel/module/link emit; request
+    spans recorded before that argument existed are skipped.
+    """
+    children: typing.Dict[int, typing.List[Span]] = {}
+    requests: typing.List[Span] = []
+    for span in spans:
+        if span.track == "requests":
+            if "req" in span.args:
+                requests.append(span)
+            continue
+        req = span.args.get("req")
+        if req is None or span.name not in SPAN_SEGMENT:
+            continue
+        children.setdefault(int(req), []).append(span)
+    return [
+        _attribute_one(request, children.get(int(request.args["req"]), []))
+        for request in requests
+    ]
+
+
+def _attribute_one(request: Span,
+                   spans: typing.Sequence[Span]) -> RequestAttribution:
+    start, end = request.start_ns, request.end_ns
+    clipped: typing.List[typing.Tuple[float, float, str]] = []
+    overlap_parts: typing.List[float] = []
+    for span in spans:
+        segment = SPAN_SEGMENT[span.name]
+        if span.name == "read_burst":
+            overlap_parts.append(float(span.args.get("overlap", 0.0)))
+        lo = max(span.start_ns, start)
+        hi = min(span.end_ns, end)
+        if hi > lo:
+            clipped.append((lo, hi, segment))
+    pieces: typing.Dict[str, typing.List[float]] = {
+        segment: [] for segment in SEGMENTS}
+    boundaries = sorted({start, end}
+                        | {lo for lo, _, _ in clipped}
+                        | {hi for _, hi, _ in clipped})
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        if hi <= lo:
+            continue
+        midpoint = (lo + hi) / 2.0
+        winner = "queue_wait"
+        rank = len(_PRIORITY)
+        for span_lo, span_hi, segment in clipped:
+            if span_lo <= midpoint < span_hi and _PRIORITY[segment] < rank:
+                rank = _PRIORITY[segment]
+                winner = segment
+        pieces[winner].append(hi - lo)
+    overlap = math.fsum(overlap_parts)
+    segments = {segment: math.fsum(parts)
+                for segment, parts in pieces.items()}
+    segments["interleave_hidden"] = overlap
+    return RequestAttribution(
+        request_id=int(request.args["req"]),
+        op=str(request.args.get("op", request.name.split(" ")[0])),
+        address=int(request.args.get("address", 0)),
+        size=int(request.args.get("size", 0)),
+        scope=request.scope,
+        start_ns=start,
+        end_ns=end,
+        segments=segments,
+        overlap_ns=overlap,
+    )
+
+
+def summarize(attributions: typing.Sequence[RequestAttribution]
+              ) -> AttributionSummary:
+    """Aggregate per-request attributions into one summary."""
+    totals = {
+        segment: math.fsum(a.segments.get(segment, 0.0)
+                           for a in attributions)
+        for segment in SEGMENTS
+    }
+    return AttributionSummary(
+        request_count=len(attributions),
+        total_latency_ns=math.fsum(a.latency_ns for a in attributions),
+        segment_totals=totals,
+        overlap_total_ns=math.fsum(a.overlap_ns for a in attributions),
+    )
+
+
+def verify_attribution(
+        attributions: typing.Sequence[RequestAttribution],
+        overlap_total_ns: float | None = None) -> typing.List[str]:
+    """Check the exactness invariant; returns problems (empty = holds).
+
+    Per request: no negative segment, the credited overlap fits inside
+    the burst segment, and all segments minus the credited overlap sum
+    to the end-to-end latency.  Across the run: per-request overlap
+    credits sum to ``overlap_total_ns`` (pass the
+    ``sched.interleave.overlap_ns`` counter value) when given.
+    """
+    problems: typing.List[str] = []
+    for attribution in attributions:
+        label = f"request {attribution.request_id}"
+        for segment, value in attribution.segments.items():
+            if value < 0.0:
+                problems.append(
+                    f"{label}: negative {segment} segment ({value} ns)")
+        burst = attribution.segments.get("rdb_burst", 0.0)
+        if attribution.overlap_ns > burst + ABS_TOL:
+            problems.append(
+                f"{label}: credited overlap {attribution.overlap_ns} ns "
+                f"exceeds burst segment {burst} ns")
+        if not math.isclose(attribution.attributed_ns,
+                            attribution.latency_ns,
+                            rel_tol=REL_TOL, abs_tol=ABS_TOL):
+            problems.append(
+                f"{label}: segments minus overlap sum to "
+                f"{attribution.attributed_ns} ns, not the end-to-end "
+                f"{attribution.latency_ns} ns")
+    if overlap_total_ns is not None:
+        credited = math.fsum(a.overlap_ns for a in attributions)
+        if not math.isclose(credited, overlap_total_ns,
+                            rel_tol=REL_TOL, abs_tol=ABS_TOL):
+            problems.append(
+                f"per-request overlap credits sum to {credited} ns, "
+                f"but the scheduler observed {overlap_total_ns} ns")
+    return problems

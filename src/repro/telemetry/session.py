@@ -24,16 +24,27 @@ from repro.telemetry.tracer import RecordingTracer, use_tracer
 class Telemetry:
     """A recording tracer and a metrics registry, activated together."""
 
-    def __init__(self, record_kernel_events: bool = False) -> None:
+    def __init__(self, record_kernel_events: bool = False,
+                 record_spans: bool = True) -> None:
+        self.record_spans = record_spans
         self.tracer = RecordingTracer(
             record_kernel_events=record_kernel_events)
         self.metrics = MetricsRegistry()
 
     @contextlib.contextmanager
     def activate(self) -> typing.Iterator["Telemetry"]:
-        """Install both as the ambient tracer/registry for the body."""
-        with use_tracer(self.tracer), use_metrics(self.metrics):
-            yield self
+        """Install both as the ambient tracer/registry for the body.
+
+        With ``record_spans=False`` only the metrics registry is
+        installed — the ambient tracer stays null, so metrics-only runs
+        keep the zero-overhead tracing path.
+        """
+        if self.record_spans:
+            with use_tracer(self.tracer), use_metrics(self.metrics):
+                yield self
+        else:
+            with use_metrics(self.metrics):
+                yield self
 
     # -- export ---------------------------------------------------------
     def write_trace(self, path: str) -> None:

@@ -207,10 +207,12 @@ class RecordingTracer(Tracer):
 class MultiTracer(Tracer):
     """Fans every hook out to several tracers (explicit + ambient)."""
 
-    enabled = True
-
     def __init__(self, tracers: typing.Sequence[Tracer]) -> None:
         self.tracers = tuple(tracers)
+        # A fan-out of disabled children must look disabled itself, or
+        # instrumentation guarded by `tracer.enabled` pays the full
+        # recording cost on --metrics-only runs.
+        self.enabled = any(tracer.enabled for tracer in self.tracers)
 
     def emit(self, name: str, track: str, start_ns: float, end_ns: float,
              asynchronous: bool = False,
@@ -246,9 +248,14 @@ def combine(*tracers: typing.Optional[Tracer]) -> Tracer:
     for tracer in tracers:
         if tracer is None or not tracer.enabled:
             continue
-        if any(tracer is seen for seen in active):
-            continue
-        active.append(tracer)
+        children = (tracer.tracers if isinstance(tracer, MultiTracer)
+                    else (tracer,))
+        for child in children:
+            if not child.enabled:
+                continue
+            if any(child is seen for seen in active):
+                continue
+            active.append(child)
     if not active:
         return NULL_TRACER
     if len(active) == 1:

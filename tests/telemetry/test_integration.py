@@ -162,3 +162,24 @@ class TestObservationalPurity:
         traced = next(s for s in telemetry.tracer.spans
                       if s.track == "requests")
         assert traced.end_ns == pytest.approx(plain_time)
+
+
+class TestMetricsOnlySession:
+    def test_record_spans_false_keeps_null_tracer(self):
+        from repro.telemetry import current_metrics, current_tracer
+        from repro.telemetry.tracer import NULL_TRACER
+
+        telemetry = Telemetry(record_spans=False)
+        with telemetry.activate():
+            # The metrics-only path must keep the zero-overhead tracer
+            # so hot emit sites stay behind `tracer.enabled`.
+            assert current_tracer() is NULL_TRACER
+            assert current_metrics() is telemetry.metrics
+            sim = Simulator()
+            subsystem = PramSubsystem(sim, geometry=GEOMETRY)
+            request = MemoryRequest(Op.READ, 0, GEOMETRY.row_bytes)
+            sim.process(subsystem.submit(request))
+            sim.run()
+            assert not sim.tracer.enabled
+        assert telemetry.tracer.spans == []
+        assert telemetry.metrics.snapshot("pram.*")

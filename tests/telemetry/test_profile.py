@@ -1,0 +1,182 @@
+"""Latency attribution: segment sweep, exactness invariant, fig12."""
+
+import math
+
+import pytest
+
+from repro.experiments.fig12_interleaving_timing import run as fig12_run
+from repro.telemetry import Telemetry
+from repro.telemetry.dashboard import (
+    build_profile,
+    render_html,
+    render_text,
+)
+from repro.telemetry.profile import (
+    SEGMENTS,
+    attribute_requests,
+    summarize,
+    verify_attribution,
+)
+from repro.telemetry.tracer import RecordingTracer
+
+
+def _request(tracer, req, start, end, op="read", address=0, size=64):
+    tracer.emit(f"{op} 0x{address:x}", "requests", start, end,
+                asynchronous=True, req=req, op=op, address=address,
+                size=size)
+
+
+# ----------------------------------------------------------------------
+# Synthetic sweeps
+# ----------------------------------------------------------------------
+def test_full_pipeline_attribution():
+    tracer = RecordingTracer()
+    _request(tracer, 1, 0.0, 100.0)
+    tracer.emit("cmd", "ch0.bus", 0.0, 5.0, req=1)
+    tracer.emit("pre_active", "ch0.m0.p0", 5.0, 15.0, req=1)
+    tracer.emit("activate", "ch0.m0.p0", 15.0, 70.0, req=1)
+    tracer.emit("read_burst", "ch0.bus", 70.0, 90.0, req=1, overlap=0.0)
+    [attribution] = attribute_requests(tracer.spans)
+    segments = attribution.segments
+    assert segments["bus"] == 5.0
+    assert segments["preactive"] == 10.0
+    assert segments["activate"] == 55.0
+    assert segments["rdb_burst"] == 20.0
+    assert segments["queue_wait"] == 10.0      # the uncovered [90, 100]
+    assert segments["interleave_hidden"] == 0.0
+    assert attribution.attributed_ns == pytest.approx(100.0)
+    assert verify_attribution([attribution], overlap_total_ns=0.0) == []
+
+
+def test_uncovered_time_is_queue_wait():
+    tracer = RecordingTracer()
+    _request(tracer, 7, 0.0, 50.0)
+    [attribution] = attribute_requests(tracer.spans)
+    assert attribution.segments["queue_wait"] == 50.0
+    assert attribution.dominant_segment() == "queue_wait"
+
+
+def test_overlapping_spans_collapse_by_priority():
+    # A burst over the same instants as an activate: the deeper stage
+    # (rdb_burst) claims the overlap, nothing is counted twice.
+    tracer = RecordingTracer()
+    _request(tracer, 2, 0.0, 40.0)
+    tracer.emit("activate", "ch0.m0.p0", 0.0, 30.0, req=2)
+    tracer.emit("read_burst", "ch0.bus", 20.0, 40.0, req=2, overlap=0.0)
+    [attribution] = attribute_requests(tracer.spans)
+    assert attribution.segments["activate"] == 20.0
+    assert attribution.segments["rdb_burst"] == 20.0
+    assert attribution.attributed_ns == pytest.approx(40.0)
+
+
+def test_spans_clip_to_request_window():
+    tracer = RecordingTracer()
+    _request(tracer, 3, 10.0, 30.0)
+    tracer.emit("activate", "ch0.m0.p0", 0.0, 40.0, req=3)
+    [attribution] = attribute_requests(tracer.spans)
+    assert attribution.segments["activate"] == 20.0
+    assert attribution.attributed_ns == pytest.approx(20.0)
+
+
+def test_overlap_credit_flows_from_span_args():
+    tracer = RecordingTracer()
+    _request(tracer, 4, 0.0, 60.0)
+    tracer.emit("read_burst", "ch0.bus", 30.0, 60.0, req=4, overlap=12.5)
+    [attribution] = attribute_requests(tracer.spans)
+    assert attribution.overlap_ns == 12.5
+    assert attribution.segments["interleave_hidden"] == 12.5
+    # segments sum = 30 (queue) + 30 (burst) + 12.5 (hidden); minus the
+    # credit it equals the 60 ns end-to-end latency.
+    assert attribution.attributed_ns == pytest.approx(60.0)
+    assert verify_attribution([attribution],
+                              overlap_total_ns=12.5) == []
+
+
+def test_verify_catches_overlap_mismatch():
+    tracer = RecordingTracer()
+    _request(tracer, 5, 0.0, 60.0)
+    tracer.emit("read_burst", "ch0.bus", 30.0, 60.0, req=5, overlap=10.0)
+    attributions = attribute_requests(tracer.spans)
+    problems = verify_attribution(attributions, overlap_total_ns=99.0)
+    assert any("scheduler observed" in problem for problem in problems)
+
+
+def test_verify_catches_overcredited_overlap():
+    tracer = RecordingTracer()
+    _request(tracer, 6, 0.0, 60.0)
+    # Credit exceeds the burst itself: impossible, must be flagged.
+    tracer.emit("read_burst", "ch0.bus", 50.0, 60.0, req=6, overlap=25.0)
+    attributions = attribute_requests(tracer.spans)
+    problems = verify_attribution(attributions)
+    assert any("exceeds burst segment" in problem for problem in problems)
+
+
+def test_requests_without_req_arg_are_skipped():
+    tracer = RecordingTracer()
+    tracer.emit("read 0x0", "requests", 0.0, 10.0, asynchronous=True)
+    assert attribute_requests(tracer.spans) == []
+
+
+def test_summarize_totals_and_fractions():
+    tracer = RecordingTracer()
+    _request(tracer, 10, 0.0, 100.0)
+    _request(tracer, 11, 0.0, 100.0)
+    tracer.emit("activate", "ch0.m0.p0", 0.0, 50.0, req=10)
+    tracer.emit("activate", "ch0.m0.p1", 0.0, 100.0, req=11)
+    summary = summarize(attribute_requests(tracer.spans))
+    assert summary.request_count == 2
+    assert summary.total_latency_ns == 200.0
+    assert summary.segment_totals["activate"] == 150.0
+    assert summary.segment_means()["activate"] == 75.0
+    assert summary.segment_fractions()["activate"] == pytest.approx(0.75)
+    assert set(summary.segment_totals) == set(SEGMENTS)
+
+
+# ----------------------------------------------------------------------
+# The acceptance-criteria integration test: a traced fig12 run
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def traced_fig12():
+    telemetry = Telemetry()
+    with telemetry.activate():
+        fig12_run()
+    return telemetry
+
+
+def test_fig12_attribution_invariant(traced_fig12):
+    spans = traced_fig12.tracer.spans
+    overlap_total = traced_fig12.metrics.counter(
+        "sched.interleave.overlap_ns").value
+    attributions = attribute_requests(spans)
+    assert attributions, "fig12 must yield attributable requests"
+    # Segment durations minus the credited overlap sum exactly to each
+    # request's end-to-end latency...
+    assert verify_attribution(attributions,
+                              overlap_total_ns=overlap_total) == []
+    for attribution in attributions:
+        assert math.isclose(attribution.attributed_ns,
+                            attribution.latency_ns,
+                            rel_tol=1e-9, abs_tol=1e-6)
+    # ...and the per-request credits sum to the scheduler's counter.
+    credited = math.fsum(a.overlap_ns for a in attributions)
+    assert math.isclose(credited, overlap_total, rel_tol=1e-9,
+                        abs_tol=1e-6)
+    assert overlap_total > 0.0, "fig12 exists to demonstrate overlap"
+
+
+def test_fig12_profile_renders(traced_fig12):
+    spans = traced_fig12.tracer.spans
+    overlap_total = traced_fig12.metrics.counter(
+        "sched.interleave.overlap_ns").value
+    profile = build_profile("fig12", spans,
+                            overlap_total_ns=overlap_total)
+    assert profile.invariant_problems == []
+    assert profile.littles is not None
+    assert profile.littles.consistent(1e-6)
+    text = render_text(profile)
+    assert "attribution invariant: holds" in text
+    assert "interleave_hidden" in text
+    html = render_html([profile])
+    assert html.startswith("<!DOCTYPE html>")
+    assert "fig12" in html
+    assert "attribution invariant holds" in html

@@ -140,6 +140,30 @@ class TestCombine:
         assert left.spans[0].scope == "run"
         assert right.spans[0].scope == "run"
 
+    def test_multi_of_disabled_children_is_disabled(self):
+        assert not MultiTracer([NULL_TRACER]).enabled
+        assert not MultiTracer([NULL_TRACER, NULL_TRACER]).enabled
+        assert MultiTracer([NULL_TRACER, RecordingTracer()]).enabled
+
+    def test_all_null_multi_short_circuits_to_null(self):
+        # A MultiTracer wrapping only disabled tracers must not defeat
+        # the `tracer.enabled` fast path on the hot emit sites.
+        assert combine(MultiTracer([NULL_TRACER]), None) is NULL_TRACER
+
+    def test_multi_with_one_live_child_unwraps(self):
+        recording = RecordingTracer()
+        multi = MultiTracer([recording, NULL_TRACER])
+        assert combine(multi, None) is recording
+
+    def test_nested_multi_flattens(self):
+        left, right, third = (RecordingTracer(), RecordingTracer(),
+                              RecordingTracer())
+        flattened = combine(MultiTracer([left, right]), third)
+        assert isinstance(flattened, MultiTracer)
+        assert set(flattened.tracers) == {left, right, third}
+        for tracer in flattened.tracers:
+            assert not isinstance(tracer, MultiTracer)
+
 
 class TestAmbientTracer:
     def test_use_tracer_scopes_installation(self):
