@@ -53,8 +53,17 @@ def bench_config():
 
 @pytest.fixture(scope="session")
 def full_matrix(bench_config):
-    """The 15-workload x 11-system execution matrix (run once)."""
-    return run_matrix(bench_config, list(SYSTEM_NAMES))
+    """The 15-workload x 11-system execution matrix (run once).
+
+    ``REPRO_BENCH_JOBS=N`` shards the matrix cells across N worker
+    processes and ``REPRO_BENCH_CACHE=DIR`` replays unchanged cells
+    from the content-addressed result cache; both merge back
+    deterministically, so the matrix is identical to a serial run's.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+    return run_matrix(bench_config, list(SYSTEM_NAMES),
+                      jobs=jobs, cache_dir=cache_dir)
 
 
 @pytest.fixture(scope="session")

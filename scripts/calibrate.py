@@ -7,11 +7,15 @@ DRAM-less/Heterodirect ~ 1.47, DRAM-less/DRAM-less(fw) ~ 1.25,
 DRAM-less/PAGE-buffer ~ 1.64.
 """
 
+from __future__ import annotations
+
 import math
 import sys
+import typing
 
 from repro.accel import AcceleratorConfig
 from repro.systems import SystemConfig, build_system
+from repro.systems.base import ExecutionResult
 from repro.workloads import generate_traces, workload
 
 NAMES = ["Hetero", "Heterodirect", "Hetero-PRAM", "Heterodirect-PRAM",
@@ -28,12 +32,12 @@ def main() -> None:
     cfg = SystemConfig(
         accelerator=AcceleratorConfig(l1_bytes=2048, l2_bytes=16384),
         dram_fraction=frac)
-    geo = {}
+    geo: typing.Dict[str, typing.List[float]] = {}
     for name_wl in WORKLOADS:
         bundle = generate_traces(workload(name_wl), agents=7, scale=scale,
                                  seed=1)
-        base = None
-        row = []
+        base: typing.Optional[ExecutionResult] = None
+        row: typing.List[typing.Tuple[str, float]] = []
         for name, s in zip(NAMES, SHORT):
             result = build_system(name, cfg).run(bundle)
             if base is None:

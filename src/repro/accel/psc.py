@@ -112,8 +112,10 @@ class PowerSleepController:
         if elapsed > 0:
             self._residency[pe_id][self._state[pe_id]] += elapsed
             if self._metrics.enabled:
+                # Record under the owning PE's *assigned* prefix so a
+                # multi-system run keeps each PE's clock distinct.
                 self._metrics.gauge(
-                    f"pe.{pe_id}.sleep_ns",
+                    f"{self._metrics.latest_prefix(f'pe.{pe_id}')}.sleep_ns",
                     self._residency[pe_id][PeState.SLEEP])
         self._since[pe_id] = now
 

@@ -13,6 +13,19 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _request_ids = itertools.count()
 
 
+def reset_request_ids() -> None:
+    """Restart request numbering at zero.
+
+    The experiment runners call this at every cell boundary so request
+    ids are *cell-local*: a worker process (which may have inherited or
+    accumulated counter state) numbers a cell's requests exactly like a
+    serial run does.  Profile attribution keys requests by
+    ``(scope, req)``, so per-cell restarts never alias.
+    """
+    global _request_ids
+    _request_ids = itertools.count()
+
+
 class Op(enum.Enum):
     """Operation kinds the controller understands."""
 

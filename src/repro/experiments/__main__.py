@@ -1,4 +1,10 @@
-"""``python -m repro.experiments`` — the experiment CLI."""
+"""``python -m repro.experiments`` — the experiment CLI.
+
+Runs one experiment, a comma-separated list, or ``all``; ``--jobs N``
+shards the work across worker processes and ``--cache`` replays
+unchanged experiments from the content-addressed result cache.  See
+:mod:`repro.experiments.cli` for the full flag set.
+"""
 
 from __future__ import annotations
 

@@ -5,11 +5,20 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig15 [--scale 0.25] [--quick]
     python -m repro.experiments run all --quick
+    python -m repro.experiments all --jobs 4 --cache --results results
     python -m repro.experiments fig12 --trace /tmp/fig12.json --metrics
 
 The ``run`` keyword may be omitted: a first argument that is not a
-subcommand is treated as an experiment id.  Each experiment prints the
-same text report the benchmarks write to ``results/``.
+subcommand is treated as an experiment id (or a comma-separated list,
+``fig12,fig13``).  Each experiment prints the same text report the
+benchmarks write to ``results/``; ``--results DIR`` also writes the
+reports there under the benchmarks' provenance header.
+
+``--jobs N`` shards the chosen experiments across worker processes and
+merges reports and telemetry back in experiment order, so the output
+is identical to a serial run.  ``--cache [DIR]`` replays unchanged
+experiments from the content-addressed result cache (default
+``.repro-cache/``) instead of re-simulating them.
 
 Telemetry flags (``--trace``, ``--spans``, ``--metrics``) install an
 ambient tracer/metrics registry around the chosen experiments and
@@ -24,7 +33,8 @@ import argparse
 import sys
 import typing
 
-from repro.experiments import runner
+from repro.controller.request import reset_request_ids
+from repro.experiments import parallel, runner
 from repro.telemetry import Telemetry, build_profile, render_html, render_text
 from repro.experiments import (
     fig01_motivation,
@@ -95,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
                             help="trace seed (default 1)")
     run_parser.add_argument("--quick", action="store_true",
                             help="tiny two-workload configuration")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="shard the chosen experiments across N "
+                                 "worker processes (default 1: serial)")
+    run_parser.add_argument("--cache", nargs="?", metavar="DIR",
+                            default=None, const=parallel.DEFAULT_CACHE_DIR,
+                            help="replay unchanged experiments from the "
+                                 "content-addressed result cache "
+                                 f"(default dir {parallel.DEFAULT_CACHE_DIR})")
+    run_parser.add_argument("--results", metavar="DIR", default=None,
+                            help="also write each report to DIR/<name>.txt "
+                                 "under a provenance header")
     run_parser.add_argument("--trace", metavar="OUT.json", default=None,
                             help="write a Perfetto/Chrome trace of the "
                                  "run to this file")
@@ -136,6 +157,43 @@ def config_from_args(args: argparse.Namespace) -> runner.ExperimentConfig:
     return runner.ExperimentConfig(scale=args.scale, seed=args.seed)
 
 
+def _run_sharded(chosen: typing.List[str],
+                 config: runner.ExperimentConfig,
+                 args: argparse.Namespace,
+                 telemetry: typing.Optional[Telemetry],
+                 want_spans: bool,
+                 profiles: typing.List[typing.Any]
+                 ) -> typing.Dict[str, str]:
+    """The ``--jobs``/``--cache`` path: shard experiments, merge back.
+
+    Fragments merge into the session telemetry one experiment at a
+    time, in experiment order, so per-experiment profiles and the
+    merged trace match a serial run.
+    """
+    if telemetry is None:
+        run = parallel.run_experiments_parallel(
+            chosen, config, jobs=args.jobs, cache_dir=args.cache)
+        return run.reports
+    with telemetry.activate():
+        run = parallel.run_experiments_parallel(
+            chosen, config, jobs=args.jobs, cache_dir=args.cache,
+            merge_into_ambient=False)
+    for name in chosen:
+        outcome = run.outcomes[name]
+        mark = len(telemetry.tracer.spans)
+        overlap_counter = telemetry.metrics.counter(
+            "sched.interleave.overlap_ns")
+        overlap_before = overlap_counter.value
+        parallel.merge_outcome(outcome, telemetry.metrics,
+                               telemetry.tracer)
+        if want_spans:
+            profiles.append(build_profile(
+                name, telemetry.tracer.spans[mark:],
+                overlap_total_ns=(overlap_counter.value
+                                  - overlap_before)))
+    return run.reports
+
+
 def main(argv: typing.Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -146,11 +204,14 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             print(f"{name:8s} {description}")
         return 0
     chosen = (list(EXPERIMENTS) if args.experiment == "all"
-              else [args.experiment])
+              else [name for name in args.experiment.split(",") if name])
     unknown = [name for name in chosen if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"try 'list'", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
     config = config_from_args(args)
     # --metrics alone keeps the null-tracer fast path (record_spans
@@ -161,26 +222,44 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     telemetry = (Telemetry(record_spans=want_spans)
                  if want_spans or args.metrics else None)
     profiles = []
-    for name in chosen:
-        _, run_fn = EXPERIMENTS[name]
-        if telemetry is not None:
-            mark = len(telemetry.tracer.spans)
-            overlap_counter = telemetry.metrics.counter(
-                "sched.interleave.overlap_ns")
-            overlap_before = overlap_counter.value
-            with telemetry.activate(), telemetry.tracer.scope(name):
+    reports: typing.Dict[str, str] = {}
+    if args.jobs != 1 or args.cache is not None:
+        reports = _run_sharded(chosen, config, args, telemetry,
+                               want_spans, profiles)
+        for name in chosen:
+            print(reports[name])
+            print()
+    else:
+        for name in chosen:
+            _, run_fn = EXPERIMENTS[name]
+            # Same cell boundary as the sharded workers: request ids
+            # restart per experiment (and per matrix cell within it).
+            reset_request_ids()
+            if telemetry is not None:
+                mark = len(telemetry.tracer.spans)
+                overlap_counter = telemetry.metrics.counter(
+                    "sched.interleave.overlap_ns")
+                overlap_before = overlap_counter.value
+                with telemetry.activate(), telemetry.tracer.scope(name):
+                    report = run_fn(config)
+                if want_spans:
+                    # The counter is cumulative across experiments; the
+                    # profile wants this experiment's contribution only.
+                    profiles.append(build_profile(
+                        name, telemetry.tracer.spans[mark:],
+                        overlap_total_ns=(overlap_counter.value
+                                          - overlap_before)))
+            else:
                 report = run_fn(config)
-            if want_spans:
-                # The counter is cumulative across experiments; the
-                # profile wants this experiment's contribution only.
-                profiles.append(build_profile(
-                    name, telemetry.tracer.spans[mark:],
-                    overlap_total_ns=(overlap_counter.value
-                                      - overlap_before)))
-        else:
-            report = run_fn(config)
-        print(report)
-        print()
+            reports[name] = report
+            print(report)
+            print()
+    if args.results is not None:
+        for name in chosen:
+            parallel.write_result(
+                args.results, parallel.RESULT_NAMES.get(name, name),
+                reports[name], config)
+        print(f"reports written to {args.results}")
     if telemetry is not None:
         if args.trace:
             telemetry.write_trace(args.trace)

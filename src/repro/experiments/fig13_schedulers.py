@@ -94,9 +94,10 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> typing.Dict:
     return {
         "rows": rows,
         "mean_final_gain": geometric_mean(
-            [row["final"] for row in rows]) - 1.0,
+            [row["final"] for row in rows], key="final") - 1.0,
         "mean_selective_gain": geometric_mean(
-            [row["selective-erasing"] for row in rows]) - 1.0,
+            [row["selective-erasing"] for row in rows],
+            key="selective-erasing") - 1.0,
         "max_interleaving_gain": max(
             row["interleaving"] for row in rows) - 1.0,
     }

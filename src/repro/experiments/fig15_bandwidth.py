@@ -38,7 +38,7 @@ def run(config: ExperimentConfig = ExperimentConfig(),
             **{name: results[name].bandwidth_mb_s / baseline
                for name in systems},
         })
-    means = {name: geometric_mean([row[name] for row in rows])
+    means = {name: geometric_mean([row[name] for row in rows], key=name)
              for name in systems}
     return {
         "systems": list(systems),

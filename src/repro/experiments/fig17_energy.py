@@ -44,7 +44,7 @@ def run(config: ExperimentConfig = ExperimentConfig(),
                 if category in categories[name]:
                     categories[name][category] += nanojoules / 1e6
         rows.append(row)
-    mean_mj = {name: geometric_mean(values)
+    mean_mj = {name: geometric_mean(values, key=name)
                for name, values in totals.items()}
     result = {
         "systems": list(systems),

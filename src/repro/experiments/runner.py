@@ -9,9 +9,11 @@ records into the active tracer/registry; no extra plumbing here.
 from __future__ import annotations
 
 import dataclasses
+import os
 import typing
 
 from repro.accel import AcceleratorConfig
+from repro.controller.request import reset_request_ids
 from repro.systems import SystemConfig, build_system
 from repro.systems.base import ExecutionResult
 from repro.workloads import all_workloads, generate_traces, workload
@@ -59,21 +61,56 @@ QUICK = ExperimentConfig(scale=0.05, agents=3,
                          workloads=("gemver", "doitg"))
 
 
+def require_cells(workloads: typing.Sequence[str],
+                  systems: typing.Sequence[str]) -> None:
+    """Reject an empty execution matrix, naming the offending axis.
+
+    An empty axis would silently produce an empty matrix (and empty
+    figures downstream); fail loudly with the matrix key instead.
+    """
+    if not workloads:
+        raise ValueError(
+            "run_matrix: empty cell list on matrix key 'workloads' — "
+            "nothing to run")
+    if not systems:
+        raise ValueError(
+            "run_matrix: empty cell list on matrix key 'systems' — "
+            "nothing to run")
+
+
 def run_matrix(config: ExperimentConfig,
                systems: typing.Sequence[str],
                workloads: typing.Sequence[str] | None = None,
+               *,
+               jobs: int = 1,
+               cache_dir: typing.Union[str, "os.PathLike[str]", None] = None,
                ) -> typing.Dict[str, typing.Dict[str, ExecutionResult]]:
     """Run every (workload, system) pair.
 
     Returns ``matrix[workload][system] -> ExecutionResult``.
+
+    ``jobs`` > 1 shards the cells across a process pool and merges the
+    per-cell results and telemetry deterministically (cell-key order,
+    so the output is identical to a serial run); ``cache_dir`` enables
+    the content-addressed result cache so unchanged cells are replayed
+    instead of re-simulated.  Both paths live in
+    :mod:`repro.experiments.parallel`.
     """
     chosen = tuple(workloads) if workloads is not None else config.workloads
+    require_cells(chosen, systems)
+    if jobs != 1 or cache_dir is not None:
+        from repro.experiments import parallel
+        return parallel.run_matrix_parallel(
+            config, systems, chosen, jobs=jobs, cache_dir=cache_dir).matrix
     system_config = config.system_config()
     matrix: typing.Dict[str, typing.Dict[str, ExecutionResult]] = {}
     for workload_name in chosen:
         bundle = config.bundle(workload_name)
         row = {}
         for system_name in systems:
+            # Cell-local request numbering: parallel workers reset at
+            # the same boundary, so span ``req`` tags match exactly.
+            reset_request_ids()
             system = build_system(system_name, system_config)
             row[system_name] = system.run(bundle)
         matrix[workload_name] = row
@@ -103,10 +140,17 @@ def _cell(value: object) -> str:
     return str(value)
 
 
-def geometric_mean(values: typing.Sequence[float]) -> float:
-    """Geometric mean (the figures' "on average" aggregations)."""
+def geometric_mean(values: typing.Sequence[float],
+                   key: str = "") -> float:
+    """Geometric mean (the figures' "on average" aggregations).
+
+    ``key`` names the matrix row/column being aggregated so an empty
+    cell list fails with the offending key, not a bare message.
+    """
     if not values:
-        raise ValueError("geometric mean of nothing")
+        raise ValueError(
+            f"geometric mean of an empty cell list"
+            f"{f' for matrix key {key!r}' if key else ''}")
     if any(value <= 0 for value in values):
         raise ValueError("geometric mean requires positive values")
     product = 1.0

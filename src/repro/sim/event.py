@@ -26,6 +26,13 @@ class Event:
         Optional label used in ``repr`` and error messages.
     """
 
+    # Experiments allocate events by the million (one Timeout per
+    # device latency); slotted instances skip the per-object __dict__,
+    # which measurably cuts both allocation time and peak memory on the
+    # full figure sweep.  Subclasses declare their own additions.
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok",
+                 "_triggered", "_processed", "__weakref__")
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
@@ -90,6 +97,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` nanoseconds after creation."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", delay: float, value: object = None,
                  name: str = "") -> None:
         if delay < 0:
@@ -110,6 +119,8 @@ class Interrupt(Exception):
 
 class _Condition(Event):
     """Base for AllOf / AnyOf combinators."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, sim: "Simulator", events: typing.Sequence[Event],
                  name: str = "") -> None:
@@ -147,6 +158,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers when every child event has triggered successfully."""
 
+    __slots__ = ()
+
     def _check(self) -> None:
         if not self._triggered and self._pending <= 0:
             self.succeed(self._collect())
@@ -154,6 +167,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Triggers when any child event triggers successfully."""
+
+    __slots__ = ()
 
     def _check(self) -> None:
         if self._triggered:

@@ -27,6 +27,8 @@ class Process(Event):
       inside the generator, per "errors should never pass silently".
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: "Simulator", generator: typing.Generator,
                  name: str = "") -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):

@@ -14,6 +14,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Request(Event):
     """Pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim, name=f"request({resource.name})")
         self.resource = resource

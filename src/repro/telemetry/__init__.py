@@ -79,8 +79,18 @@ from repro.telemetry.bench import (  # noqa: E402
     collect_provenance,
     compare,
     load_bench,
+    merge_reports,
     render_compare,
     write_bench,
+)
+
+from repro.telemetry.fragments import (  # noqa: E402
+    MetricsFragment,
+    TracerFragment,
+    capture_metrics,
+    capture_tracer,
+    merge_metrics,
+    merge_tracer,
 )
 
 from repro.telemetry.dashboard import (  # noqa: E402
@@ -103,17 +113,21 @@ __all__ = [
     "KernelEventRecorder",
     "LittlesLawCheck",
     "MetricDelta",
+    "MetricsFragment",
     "MetricsRegistry",
     "MultiTracer",
     "RecordingTracer",
     "RequestAttribution",
     "Span",
     "Telemetry",
+    "TracerFragment",
     "TrackUtilization",
     "Tracer",
     "attribute_requests",
     "bench_filename",
     "build_profile",
+    "capture_metrics",
+    "capture_tracer",
     "capture_window",
     "collect_provenance",
     "combine",
@@ -123,6 +137,9 @@ __all__ = [
     "littles_law",
     "load_bench",
     "load_spanlog",
+    "merge_metrics",
+    "merge_reports",
+    "merge_tracer",
     "perfetto_document",
     "perfetto_events",
     "render_compare",

@@ -7,7 +7,12 @@ the trace captured from a real experiment.
 
 ``python -m repro.telemetry compare BASELINE.json CANDIDATE.json``
 diffs two ``BENCH_*.json`` reports metric by metric and exits 1 when
-any metric moved in its bad direction beyond ``--threshold``.
+any metric moved in its bad direction beyond ``--threshold``.  CI runs
+this as a **blocking** gate against ``benchmarks/BENCH_baseline.json``.
+
+``python -m repro.telemetry merge OUT.json FRAGMENT.json [...]`` folds
+per-shard BENCH fragments (parallel sweeps, split benchmark jobs) into
+one report; conflicting duplicate metrics are an error.
 """
 
 from __future__ import annotations
@@ -21,7 +26,9 @@ from repro.telemetry.bench import (
     DEFAULT_THRESHOLD,
     compare as compare_bench,
     load_bench,
+    merge_reports,
     render_compare,
+    write_bench,
 )
 from repro.telemetry.export import load_spanlog, validate_perfetto
 
@@ -66,7 +73,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="relative change flagged as a regression "
              f"(default {DEFAULT_THRESHOLD:.0%})")
+    merge = sub.add_parser(
+        "merge",
+        help="fold per-shard BENCH_*.json fragments into one report")
+    merge.add_argument("output", help="merged BENCH_*.json to write")
+    merge.add_argument("fragments", nargs="+",
+                       help="fragment BENCH_*.json files")
     return parser
+
+
+def _run_merge(args: argparse.Namespace) -> int:
+    try:
+        fragments = [load_bench(path) for path in args.fragments]
+        merged = merge_reports(fragments)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        print(f"cannot merge bench fragments: {error}", file=sys.stderr)
+        return 2
+    write_bench(merged, args.output)
+    print(f"merged {len(fragments)} fragment(s), "
+          f"{len(merged.metrics)} metric(s) -> {args.output}")
+    return 0
 
 
 def _run_compare(args: argparse.Namespace) -> int:
@@ -89,6 +115,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "merge":
+        return _run_merge(args)
     problems: typing.List[str] = []
     try:
         with open(args.trace, encoding="utf-8") as handle:

@@ -143,10 +143,16 @@ def collect_provenance(
         agents: int | None = None,
         repo_root: typing.Union[str, pathlib.Path, None] = None,
 ) -> typing.Dict[str, typing.Any]:
-    """Provenance block: attribute a result set to its producing run."""
+    """Provenance block: attribute a result set to its producing run.
+
+    ``REPRO_TIMESTAMP`` overrides the wall-clock stamp — CI and the
+    serial-vs-parallel equivalence tests pin it so two runs of the same
+    tree produce byte-identical artifacts.
+    """
     provenance: typing.Dict[str, typing.Any] = {
         "git_sha": git_sha(repo_root),
-        "timestamp": datetime.datetime.now(
+        "timestamp": os.environ.get("REPRO_TIMESTAMP") or
+        datetime.datetime.now(
             datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "python": platform.python_version(),
     }
@@ -176,6 +182,45 @@ def load_bench(path: typing.Union[str, pathlib.Path]) -> BenchReport:
     """Parse a BENCH_*.json file."""
     with open(path, encoding="utf-8") as handle:
         return BenchReport.from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Fragment merge
+# ----------------------------------------------------------------------
+def merge_reports(fragments: typing.Sequence[BenchReport],
+                  provenance: typing.Optional[
+                      typing.Dict[str, typing.Any]] = None) -> BenchReport:
+    """Merge per-shard BENCH fragments into one report, deterministically.
+
+    Sharded runs (parallel sweeps, split benchmark jobs) each write
+    their own ``BENCH_*.json``; this folds them into a single report
+    with metrics in sorted-name order regardless of shard completion
+    order.  A metric appearing in two fragments must agree exactly —
+    a silent last-writer-wins would let shards mask each other.
+    """
+    if not fragments:
+        raise ValueError("no bench fragments to merge")
+    metrics: typing.Dict[str, BenchMetric] = {}
+    origin: typing.Dict[str, int] = {}
+    for index, fragment in enumerate(fragments):
+        for name, metric in fragment.metrics.items():
+            existing = metrics.get(name)
+            if existing is not None and (
+                    existing.value != metric.value
+                    or existing.better != metric.better):
+                raise ValueError(
+                    f"conflicting values for metric {name!r}: fragment "
+                    f"{origin[name]} has {existing.value!r} "
+                    f"({existing.better}), fragment {index} has "
+                    f"{metric.value!r} ({metric.better})")
+            metrics[name] = metric
+            origin.setdefault(name, index)
+    merged_provenance = dict(
+        provenance if provenance is not None else fragments[0].provenance)
+    merged_provenance["merged_fragments"] = len(fragments)
+    return BenchReport(
+        provenance=merged_provenance,
+        metrics={name: metrics[name] for name in sorted(metrics)})
 
 
 # ----------------------------------------------------------------------

@@ -45,7 +45,16 @@ class MetricsRegistry:
         self.enabled = enabled
         self._containers: typing.Dict[str, Container] = {}
         self._gauges: typing.Dict[str, float] = {}
-        self._prefixes: typing.Set[str] = set()
+        # assigned prefix -> the base it was reserved under, in
+        # reservation order — fragment merge (repro.telemetry.fragments)
+        # replays reservations to keep ``#N`` suffixes deterministic.
+        self._prefixes: typing.Dict[str, str] = {}
+        # base -> most recently assigned prefix for it (see
+        # latest_prefix).
+        self._latest_prefix: typing.Dict[str, str] = {}
+        # Paths whose last write came through gauge_max (peak semantics);
+        # fragment merge folds these with max() instead of overwrite.
+        self._gauge_max_paths: typing.Set[str] = set()
 
     # -- namespace management ------------------------------------------
     def component_prefix(self, base: str) -> str:
@@ -57,8 +66,20 @@ class MetricsRegistry:
         while prefix in self._prefixes:
             prefix = f"{base}#{counter}"
             counter += 1
-        self._prefixes.add(prefix)
+        self._prefixes[prefix] = base
+        self._latest_prefix[base] = prefix
         return prefix
+
+    def latest_prefix(self, base: str) -> str:
+        """The most recently reserved prefix for ``base`` (``base``
+        itself if never reserved).
+
+        For satellite components that record into another component's
+        namespace — e.g. the PSC's per-PE sleep clocks live under the
+        owning PE's ``pe.N`` prefix, whatever ``#K`` suffix that PE was
+        assigned.
+        """
+        return self._latest_prefix.get(base, base)
 
     def _unique_path(self, path: str) -> str:
         if path not in self._containers and path not in self._gauges:
@@ -91,11 +112,13 @@ class MetricsRegistry:
         if not self.enabled:
             return
         self._gauges[path] = value
+        self._gauge_max_paths.discard(path)
 
     def gauge_max(self, path: str, value: float) -> None:
         """Raise a scalar gauge to ``value`` if it is the new peak."""
         if not self.enabled:
             return
+        self._gauge_max_paths.add(path)
         current = self._gauges.get(path)
         if current is None or value > current:
             self._gauges[path] = value
@@ -202,6 +225,7 @@ class MetricsRegistry:
         for container in self._containers.values():
             container.reset()
         self._gauges.clear()
+        self._gauge_max_paths.clear()
 
 
 #: Disabled registry: hands out unregistered containers, records nothing.

@@ -152,7 +152,10 @@ def attribute_requests(
     span argument the instrumented channel/module/link emit; request
     spans recorded before that argument existed are skipped.
     """
-    children: typing.Dict[int, typing.List[Span]] = {}
+    # Request ids are cell-local (they restart at every experiment
+    # cell), so key by (scope, req): the scope string distinguishes
+    # same-numbered requests from different cells in one span slice.
+    children: typing.Dict[typing.Tuple[str, int], typing.List[Span]] = {}
     requests: typing.List[Span] = []
     for span in spans:
         if span.track == "requests":
@@ -162,9 +165,10 @@ def attribute_requests(
         req = span.args.get("req")
         if req is None or span.name not in SPAN_SEGMENT:
             continue
-        children.setdefault(int(req), []).append(span)
+        children.setdefault((span.scope, int(req)), []).append(span)
     return [
-        _attribute_one(request, children.get(int(request.args["req"]), []))
+        _attribute_one(request, children.get(
+            (request.scope, int(request.args["req"])), []))
         for request in requests
     ]
 
