@@ -1,0 +1,80 @@
+"""Null fault-plan overhead guard.
+
+Threading repro.faults through the stack put a ``faults is not None``
+(plus one precomputed ``*_on`` flag) check into the module's read,
+program, and occupy paths and into the channel's read/write chunk
+machinery.  This benchmark pins that cost: a run under a fault plan
+whose probabilities are all zero must stay within 5% of a run with no
+plan at all.
+
+Wall-clock comparisons on shared CI machines are noisy, so the two
+variants are timed interleaved (alternating, so drift hits both
+equally), the score is the minimum over several repetitions, and a
+failing first pass gets one retry with more repetitions.
+"""
+
+import time
+import typing
+
+from repro.controller import MemoryRequest, Op, PramSubsystem
+from repro.faults.plan import FaultConfig
+from repro.sim import Simulator
+
+#: Acceptance bound: zero-plan runtime / no-plan runtime.
+MAX_OVERHEAD = 1.05
+
+#: Simulated requests per timing sample (reads and writes: both the
+#: ECC hook and the verify hook sit on the timed path).
+REQUESTS = 192
+
+#: A plan that can never fire a fault of any category.
+ZERO_PLAN = FaultConfig(seed=9)
+
+
+def _drive(faults: typing.Optional[FaultConfig]) -> float:
+    sim = Simulator()
+    subsystem = PramSubsystem(sim, faults=faults)
+
+    def driver():
+        for index in range(REQUESTS):
+            address = (index * 512) % (1 << 20)
+            if index % 2:
+                request = MemoryRequest(Op.WRITE, address, 512,
+                                        data=b"\x5A" * 512)
+            else:
+                request = MemoryRequest(Op.READ, address, 512)
+            yield sim.process(subsystem.submit(request))
+
+    sim.process(driver())
+    sim.run()
+    return sim.now
+
+
+def _sample(faults: typing.Optional[FaultConfig]) -> float:
+    start = time.perf_counter()
+    _drive(faults)
+    return time.perf_counter() - start
+
+
+def _measure(repetitions: int) -> float:
+    """Min-of-N interleaved ratio: zero-plan / no-plan."""
+    zero_plan: list = []
+    no_plan: list = []
+    for _ in range(repetitions):
+        zero_plan.append(_sample(ZERO_PLAN))
+        no_plan.append(_sample(None))
+    return min(zero_plan) / min(no_plan)
+
+
+def test_zero_plan_timing_matches_no_plan():
+    assert _drive(ZERO_PLAN) == _drive(None)
+
+
+def test_null_fault_plan_overhead_within_bound():
+    _sample(None)  # warm caches/allocator before timing
+    ratio = _measure(7)
+    if ratio > MAX_OVERHEAD:  # one retry with more repetitions
+        ratio = _measure(15)
+    assert ratio <= MAX_OVERHEAD, (
+        f"zero-fault-plan run is {ratio:.3f}x the fault-free kernel "
+        f"(bound {MAX_OVERHEAD}x)")

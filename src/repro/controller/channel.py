@@ -27,14 +27,17 @@ from repro.analysis.conformance import Command, CommandRecord, ProtocolChecker
 from repro.controller.datapath import Datapath
 from repro.controller.phy import PramPhy
 from repro.controller.scheduler import SchedulerPolicy, WriteHintStore
-from repro.controller.translator import ChunkPlan
+from repro.controller.request import RequestStatus
+from repro.controller.translator import ChunkPlan, RetirementMap
 from repro.controller.wear_level import (
     DEFAULT_GAP_WRITE_INTERVAL,
     StartGapMapper,
 )
+from repro.faults.ecc import secded_decode
+from repro.faults.plan import FaultState
 from repro.pram.address import AddressMap, PramAddress
 from repro.pram.module import PramModule
-from repro.pram.overlay_window import CMD_SELECTIVE_ERASE
+from repro.pram.overlay_window import CMD_RETRY_PROGRAM, CMD_SELECTIVE_ERASE
 from repro.sim import Counter, Histogram, Resource, Simulator
 from repro.telemetry.metrics import current_metrics
 
@@ -55,7 +58,8 @@ class ChannelController:
                  gap_write_interval: int = DEFAULT_GAP_WRITE_INTERVAL,
                  write_pausing: bool = False,
                  pause_resume_penalty_ns: float = 1_000.0,
-                 monitor: ProtocolChecker | None = None) -> None:
+                 monitor: ProtocolChecker | None = None,
+                 faults: FaultState | None = None) -> None:
         if not modules:
             raise ValueError("a channel needs at least one module")
         self.sim = sim
@@ -105,6 +109,20 @@ class ChannelController:
         # command issued to a module is validated/recorded as it
         # happens.  None (the default) costs nothing.
         self.monitor = monitor
+        # Optional fault resilience (repro.faults): ECC over read
+        # bursts, program-and-verify retries, and bad-row retirement.
+        # Spares are carved out only when the plan can actually fail a
+        # program — otherwise geometry (and start-gap rotation) stays
+        # byte-identical to a run with no plan.
+        self.faults = faults
+        self._retirement: RetirementMap | None = None
+        if faults is not None and faults.program_faults_on:
+            geometry = self.modules[0].geometry
+            spares = min(faults.config.spare_rows_per_partition,
+                         geometry.rows_per_partition - 1)
+            if spares > 0:
+                self._retirement = RetirementMap(
+                    geometry.rows_per_partition, spares)
         # Statistics
         self.read_latency = Histogram(f"ch{channel_id}.read_latency")
         self.write_latency = Histogram(f"ch{channel_id}.write_latency")
@@ -355,11 +373,29 @@ class ChannelController:
                       skipped_activate=not need_activate)
         finish, data = module.read_burst(
             self.sim.now, buffer_id, chunk.address.column, chunk.size)
+        # Consume the fault record synchronously (no yield since the
+        # burst) so concurrent chunks never see each other's flips.
+        fault_bits = (module.take_read_fault()
+                      if self.faults is not None else ())
         yield from self._hold_bus(
             finish - self.sim.now, span_name="read_burst",
             array_key=(chunk.address.module, partition),
             span_args={"module": chunk.address.module,
                        "partition": partition, "row": row, "req": req})
+        if fault_bits and self.faults is not None:
+            decoded = secded_decode(data, fault_bits)
+            data = decoded.data
+            self.datapath.record_ecc(decoded.corrected_bits,
+                                     decoded.uncorrectable_codewords)
+            self.faults.note_ecc(decoded.corrected_bits,
+                                 decoded.uncorrectable_codewords)
+            if decoded.uncorrectable_codewords:
+                chunk.request.degrade(
+                    RequestStatus.DEGRADED,
+                    f"uncorrectable read error in ch{self.channel_id}."
+                    f"m{chunk.address.module}.p{partition} row {row}")
+            else:
+                chunk.request.degrade(RequestStatus.CORRECTED)
         self.datapath.stage_load(data)
         return data
 
@@ -395,6 +431,8 @@ class ChannelController:
             self._observe(Command.EXECUTE_PROGRAM, index,
                           partition=partition, row=row)
             module.execute_program(self.sim.now, req=req)
+            failures = (module.take_program_failures()
+                        if self.faults is not None else [])
             self._note_array_window(index, partition, self.sim.now,
                                     module.partition_ready_at(partition))
             while True:
@@ -413,6 +451,9 @@ class ChannelController:
                                 recovery_start, self.sim.now,
                                 module=index, partition=partition,
                                 req=req)
+            if failures:
+                yield from self._verify_and_retry(
+                    chunk, module, index, partition, row, failures, req)
             yield from self._account_write(index, partition)
         finally:
             self._window_locks[index].release(window)
@@ -472,6 +513,139 @@ class ChannelController:
             lock.release(window)
 
     # ------------------------------------------------------------------
+    # Program-and-verify resilience (repro.faults)
+    # ------------------------------------------------------------------
+    def _verify_and_retry(self, chunk: ChunkPlan, module: PramModule,
+                          index: int, partition: int, row: int,
+                          failures: typing.List[typing.Tuple[int, int]],
+                          req: int) -> typing.Generator:
+        """Bounded retry loop over a chunk's verify-failed words.
+
+        Each pass re-senses the row (the verify read), waits the
+        configured backoff, then re-issues a SET-only program covering
+        just the failed words — the selective-erasing asymmetry applied
+        to recovery.  Rows that exhaust every retry are retired.
+        """
+        faults = self.faults
+        assert faults is not None  # caller guards
+        config = faults.config
+        payload = chunk.payload
+        word_bytes = module.geometry.word_bytes
+        attempts = 0
+        while failures and attempts < config.max_program_retries:
+            attempts += 1
+            faults.note_retry()
+            # Verify read: sense the row in-module, then let the cells
+            # settle for the configured backoff before re-pulsing.
+            verify_start = self.sim.now
+            yield self.sim.timeout(module.timing.activate()
+                                   + config.retry_backoff_ns)
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.emit("verify_read",
+                            self._partition_track(index, partition),
+                            verify_start, self.sim.now, module=index,
+                            partition=partition, row=row,
+                            attempt=attempts, req=req)
+            # Re-program the contiguous word span covering the failed
+            # words with the bytes the original program intended.
+            words = sorted({word for _, word in failures})
+            first, last = words[0], words[-1]
+            row_data = bytearray(module.peek(partition, row))
+            if payload is not None:
+                row_data[chunk.address.column:
+                         chunk.address.column + len(payload)] = payload
+            retry_payload = bytes(
+                row_data[first * word_bytes:(last + 1) * word_bytes])
+            self._observe(Command.STAGE_PROGRAM, index,
+                          partition=partition, row=row)
+            stage_finish = module.stage_program(
+                self.sim.now, partition, row, first * word_bytes,
+                retry_payload, command=CMD_RETRY_PROGRAM)
+            yield from self._hold_bus(stage_finish - self.sim.now,
+                                      span_name="stage_program",
+                                      span_args={"module": index,
+                                                 "partition": partition,
+                                                 "req": req})
+            self._observe(Command.EXECUTE_PROGRAM, index,
+                          partition=partition, row=row)
+            module.execute_program(self.sim.now, req=req)
+            failures = module.take_program_failures()
+            while True:
+                ready = module.partition_ready_at(partition)
+                if ready <= self.sim.now:
+                    break
+                yield self.sim.timeout(ready - self.sim.now)
+        if failures:
+            faults.note_retries_exhausted()
+            yield from self._retire_row(chunk, module, index, partition,
+                                        row, req)
+
+    def _retire_row(self, chunk: ChunkPlan, module: PramModule,
+                    index: int, partition: int, row: int,
+                    req: int) -> typing.Generator:
+        """Remap an unrecoverable row onto a spare, moving its data.
+
+        With no spare left the request completes ``FAILED`` — degraded
+        service, not a crashed event loop.
+        """
+        faults = self.faults
+        assert faults is not None  # caller guards
+        retirement = self._retirement
+        spare = (retirement.retire(index, partition, row)
+                 if retirement is not None else None)
+        if spare is None:
+            faults.note_retire_failed()
+            chunk.request.degrade(
+                RequestStatus.FAILED,
+                f"row {row} unrecoverable and no spare left in "
+                f"ch{self.channel_id}.m{index}.p{partition}")
+            return
+        start = self.sim.now
+        # Build the repaired row image (current bytes with the chunk
+        # payload overlaid) and program it into the spare: one sense of
+        # the bad row, then a normal full-row program.
+        row_data = bytearray(module.peek(partition, row))
+        payload = chunk.payload
+        if payload is not None:
+            row_data[chunk.address.column:
+                     chunk.address.column + len(payload)] = payload
+        yield self.sim.timeout(module.timing.activate())
+        self._observe(Command.STAGE_PROGRAM, index,
+                      partition=partition, row=spare)
+        stage_finish = module.stage_program(
+            self.sim.now, partition, spare, 0, bytes(row_data))
+        yield from self._hold_bus(stage_finish - self.sim.now,
+                                  span_name="stage_program",
+                                  span_args={"module": index,
+                                             "partition": partition,
+                                             "req": req})
+        self._observe(Command.EXECUTE_PROGRAM, index,
+                      partition=partition, row=spare)
+        module.execute_program(self.sim.now, req=req)
+        spare_failures = module.take_program_failures()
+        while True:
+            ready = module.partition_ready_at(partition)
+            if ready <= self.sim.now:
+                break
+            yield self.sim.timeout(ready - self.sim.now)
+        faults.note_row_retired()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit("remap_program",
+                        self._partition_track(index, partition),
+                        start, self.sim.now, module=index,
+                        partition=partition, row=row, spare=spare,
+                        req=req)
+        if spare_failures:
+            # The spare misbehaved on its very first program; its data
+            # is partial, so the write is lossy but still placed.
+            chunk.request.degrade(
+                RequestStatus.DEGRADED,
+                f"spare row {spare} failed verify after retiring "
+                f"row {row}")
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
     def _probe_buffers(self, module: PramModule, partition: int, row: int,
@@ -518,11 +692,18 @@ class ChannelController:
 
     def _physical_row(self, module_index: int, partition: int,
                       logical_row: int) -> int:
-        """Translate through start-gap when wear leveling is on."""
-        if not self.wear_leveling:
-            return logical_row
-        mapper = self._mapper(module_index, partition)
-        return mapper.map(logical_row)
+        """Translate through start-gap, then through bad-row retirement.
+
+        Retirement comes second: it remaps *physical* rows, so a
+        retired row stays retired no matter where the gap rotation
+        later lands a logical row.
+        """
+        row = logical_row
+        if self.wear_leveling:
+            row = self._mapper(module_index, partition).map(row)
+        if self._retirement is not None:
+            row = self._retirement.translate(module_index, partition, row)
+        return row
 
     def _mapper(self, module_index: int,
                 partition: int) -> StartGapMapper:
@@ -530,6 +711,9 @@ class ChannelController:
         mapper = self._mappers.get(key)
         if mapper is None:
             lines = self.modules[module_index].geometry.rows_per_partition - 1
+            if self._retirement is not None:
+                # The spare region sits outside the start-gap rotation.
+                lines = max(1, lines - self._retirement.spare_rows)
             mapper = StartGapMapper(
                 lines, gap_write_interval=self._gap_write_interval)
             self._mappers[key] = mapper

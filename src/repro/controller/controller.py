@@ -14,11 +14,13 @@ from repro.analysis.conformance import ProtocolChecker
 from repro.controller.channel import ChannelController
 from repro.controller.firmware import FirmwareModel
 from repro.controller.initializer import Initializer
-from repro.controller.request import MemoryRequest, Op
+from repro.controller.request import MemoryRequest, Op, RequestStatus
 from repro.controller.scheduler import SchedulerPolicy, WriteHintStore
 from repro.controller.translator import AccessPlanner
+from repro.faults.plan import FaultConfig, FaultState
 from repro.pram.address import AddressMap
 from repro.pram.constants import PramGeometry, PramTimingParams
+from repro.pram.errors import PramError
 from repro.pram.module import PramModule
 from repro.sim import Simulator
 from repro.telemetry.metrics import current_metrics
@@ -36,7 +38,8 @@ class PramSubsystem:
                  wear_leveling: bool = False,
                  gap_write_interval: int = 100,
                  write_pausing: bool = False,
-                 monitor: ProtocolChecker | None = None) -> None:
+                 monitor: ProtocolChecker | None = None,
+                 faults: FaultConfig | None = None) -> None:
         self.sim = sim
         # Opt-in LPDDR2-NVM conformance layer (repro.analysis): shared
         # across channels so one checker sees the whole command stream.
@@ -48,8 +51,13 @@ class PramSubsystem:
         self.planner = AccessPlanner(self.address_map)
         self.hint_stores = [WriteHintStore() for _ in range(geometry.channels)]
         self.firmware = firmware
+        # Optional fault injection (repro.faults): one shared state so
+        # counters aggregate subsystem-wide; decisions stay per-site.
+        self.fault_config = faults
+        self.faults = FaultState(faults) if faults is not None else None
         self.modules = [
-            [PramModule(geometry, params, channel_id=ch, module_id=m)
+            [PramModule(geometry, params, channel_id=ch, module_id=m,
+                        faults=self.faults)
              for m in range(geometry.modules_per_channel)]
             for ch in range(geometry.channels)
         ]
@@ -62,17 +70,22 @@ class PramSubsystem:
                 wear_leveling=wear_leveling,
                 gap_write_interval=gap_write_interval,
                 write_pausing=write_pausing,
-                monitor=monitor)
+                monitor=monitor,
+                faults=self.faults)
             for ch in range(geometry.channels)
         ]
         self.boot_latency_ns = Initializer().boot(
             [m for channel in self.modules for m in channel])
         self.requests_completed = 0
+        self.requests_degraded = 0
+        self.requests_failed = 0
         self._inflight = 0
         metrics = current_metrics()
+        self._metrics = metrics
         self._metrics_on = metrics.enabled
         if self._metrics_on:
             prefix = metrics.component_prefix("subsys")
+            self._metrics_prefix = prefix
             self.queue_depth = metrics.series(f"{prefix}.queue_depth")
             self.request_latency = metrics.histogram(
                 f"{prefix}.request_latency_ns")
@@ -97,30 +110,69 @@ class PramSubsystem:
             self.sim.process(self.channels[ch].execute_chunks(chunks))
             for ch, chunks in sorted(by_channel.items())
         ]
-        results = yield self.sim.all_of(pending)
+        # Device-model errors (protocol violations, address faults) are
+        # contained here: the request completes FAILED instead of the
+        # exception tearing through the event loop and killing
+        # unrelated in-flight processes.
+        failure: PramError | None = None
+        results: typing.Dict[typing.Any, typing.Any] = {}
+        try:
+            results = yield self.sim.all_of(pending)
+        except PramError as exc:
+            failure = exc
         request.complete_time = self.sim.now
+        if failure is not None:
+            request.degrade(RequestStatus.FAILED,
+                            f"{type(failure).__name__}: {failure}")
         if self._metrics_on:
             self._inflight -= 1
             self.queue_depth.record(self.sim.now, float(self._inflight))
             self.request_latency.add(request.latency)
+        status = request.status
+        if status is not RequestStatus.OK:
+            if status is RequestStatus.FAILED:
+                self.requests_failed += 1
+            elif status is RequestStatus.DEGRADED:
+                self.requests_degraded += 1
+            if self.faults is not None:
+                if status is RequestStatus.FAILED:
+                    self.faults.requests_failed += 1
+                elif status is RequestStatus.DEGRADED:
+                    self.faults.requests_degraded += 1
+                else:
+                    self.faults.requests_corrected += 1
+            if self._metrics_on:
+                self._metrics.counter(
+                    f"{self._metrics_prefix}.requests."
+                    f"{status.value}").add()
         tracer = self.sim.tracer
         if tracer.enabled:
             # In-flight requests overlap freely, so they export as
             # async slices on one shared track.  The `req` argument keys
             # the attribution pass: hardware spans carrying the same id
             # are this request's critical path.
+            span_args: typing.Dict[str, typing.Any] = {
+                "address": request.address, "size": request.size,
+                "req": request.request_id, "op": request.op.value,
+            }
+            if status is not RequestStatus.OK:
+                span_args["status"] = status.value
             tracer.emit(f"{request.op.value} 0x{request.address:x}",
                         "requests", request.submit_time, self.sim.now,
-                        asynchronous=True, address=request.address,
-                        size=request.size, req=request.request_id,
-                        op=request.op.value)
-        # Channels return (request offset, data) pairs; reassemble in
-        # address order — a request larger than one stripe interleaves
-        # back and forth across channels, so channel-major
-        # concatenation would misorder it.
-        pieces = [piece for proc in pending for piece in results[proc]]
-        pieces.sort(key=lambda piece: piece[0])
-        request.result = b"".join(data for _, data in pieces)
+                        asynchronous=True, **span_args)
+        if failure is not None:
+            # Reads hand back zero-fill of the requested size so
+            # downstream arithmetic degrades instead of crashing.
+            request.result = (bytes(request.size)
+                              if request.op is Op.READ else b"")
+        else:
+            # Channels return (request offset, data) pairs; reassemble
+            # in address order — a request larger than one stripe
+            # interleaves back and forth across channels, so
+            # channel-major concatenation would misorder it.
+            pieces = [piece for proc in pending for piece in results[proc]]
+            pieces.sort(key=lambda piece: piece[0])
+            request.result = b"".join(data for _, data in pieces)
         self.requests_completed += 1
         if request.done is not None:
             request.done.succeed(request.result)
@@ -205,6 +257,17 @@ class PramSubsystem:
                 totals["resets"] += module.resets
                 totals["erases"] += module.erases
         return totals
+
+    def fault_counts(self) -> typing.Dict[str, float]:
+        """Injection + resilience counters (empty without a plan)."""
+        if self.faults is None:
+            return {}
+        counts = self.faults.counts()
+        counts["requests_completed"] = float(self.requests_completed)
+        counts["retry_programs"] = float(sum(
+            module.retry_programs
+            for channel in self.modules for module in channel))
+        return counts
 
     def mean_read_latency(self) -> float:
         """Mean per-chunk read latency across channels (ns)."""

@@ -20,6 +20,14 @@ class Datapath:
         self._store_register = bytes(self.REGISTER_BYTES)
         self.bytes_read = 0
         self.bytes_written = 0
+        # SEC-DED outcomes over the read path (repro.faults).
+        self.ecc_corrected_bits = 0
+        self.ecc_uncorrectable = 0
+
+    def record_ecc(self, corrected_bits: int, uncorrectable: int) -> None:
+        """Account one SEC-DED decode pass on the load path."""
+        self.ecc_corrected_bits += corrected_bits
+        self.ecc_uncorrectable += uncorrectable
 
     def stage_store(self, data: bytes) -> None:
         """Latch up to 32 bytes heading to the PRAM."""

@@ -33,6 +33,33 @@ class Op(enum.Enum):
     WRITE = "write"
 
 
+class RequestStatus(enum.Enum):
+    """Completion status of a request under fault injection.
+
+    Without a fault plan every request completes ``OK``.  With one, the
+    controller downgrades monotonically: ECC-corrected reads report
+    ``CORRECTED``, detected-uncorrectable reads and partially-lost
+    writes report ``DEGRADED``, and requests whose data could not be
+    placed at all (retries and spares exhausted, or a device-model
+    error) report ``FAILED`` — but still *complete*, so callers degrade
+    gracefully instead of crashing the event loop.
+    """
+
+    OK = "ok"
+    CORRECTED = "corrected"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+#: Severity order used by :meth:`MemoryRequest.degrade` (higher wins).
+_SEVERITY = {
+    RequestStatus.OK: 0,
+    RequestStatus.CORRECTED: 1,
+    RequestStatus.DEGRADED: 2,
+    RequestStatus.FAILED: 3,
+}
+
+
 @dataclasses.dataclass
 class MemoryRequest:
     """One read or write message (Section V-B's simple interface).
@@ -52,6 +79,8 @@ class MemoryRequest:
     complete_time: float = 0.0
     result: bytes | None = None
     done: "Event" | None = None
+    status: RequestStatus = RequestStatus.OK
+    error: str | None = None
 
     def __post_init__(self) -> None:
         if self.size < 1:
@@ -67,6 +96,21 @@ class MemoryRequest:
                 )
         elif self.data is not None:
             raise ValueError("READ must not carry a payload")
+
+    def degrade(self, status: RequestStatus,
+                error: str | None = None) -> None:
+        """Record a fault outcome; severity only ever increases.
+
+        Multiple chunks of one request may report different outcomes
+        (one corrected read, one failed write); the request keeps the
+        worst and the first error message at that severity.
+        """
+        if _SEVERITY[status] > _SEVERITY[self.status]:
+            self.status = status
+            if error is not None:
+                self.error = error
+        elif error is not None and self.error is None:
+            self.error = error
 
     @property
     def latency(self) -> float:

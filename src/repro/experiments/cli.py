@@ -46,6 +46,7 @@ from repro.experiments import (
     fig17_energy,
     fig18_19_ipc,
     fig20_21_power,
+    reliability,
     tables,
 )
 
@@ -86,6 +87,10 @@ EXPERIMENTS: typing.Dict[str, typing.Tuple[str, typing.Callable]] = {
     "fig21": ("Figure 21: power/energy capture, doitg",
               lambda config: fig20_21_power.report(
                   fig20_21_power.run_figure21(config))),
+    "endurance": ("Reliability: bandwidth + error rate vs wear "
+                  "(endurance sweep)",
+                  lambda config: reliability.report(
+                      reliability.run(config))),
 }
 
 
@@ -105,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="trace seed (default 1)")
     run_parser.add_argument("--quick", action="store_true",
                             help="tiny two-workload configuration")
+    run_parser.add_argument("--faults", metavar="PLAN", default=None,
+                            help="seeded fault-injection plan as "
+                                 "key=value,... (e.g. 'seed=7,"
+                                 "read_flip=0.001,program_fail=0.01,"
+                                 "endurance=64'); default: fault-free")
     run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
                             help="shard the chosen experiments across N "
                                  "worker processes (default 1: serial)")
@@ -153,8 +163,9 @@ def config_from_args(args: argparse.Namespace) -> runner.ExperimentConfig:
     if args.quick:
         return runner.ExperimentConfig(
             scale=0.05, seed=args.seed, agents=3,
-            workloads=("gemver", "doitg"))
-    return runner.ExperimentConfig(scale=args.scale, seed=args.seed)
+            workloads=("gemver", "doitg"), faults=args.faults)
+    return runner.ExperimentConfig(scale=args.scale, seed=args.seed,
+                                   faults=args.faults)
 
 
 def _run_sharded(chosen: typing.List[str],
@@ -214,6 +225,14 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
     config = config_from_args(args)
+    if config.faults is not None:
+        # Validate the plan up front so a typo fails in milliseconds,
+        # not after the first experiment has simulated for minutes.
+        try:
+            config.fault_config()
+        except ValueError as exc:
+            print(f"invalid --faults plan: {exc}", file=sys.stderr)
+            return 2
     # --metrics alone keeps the null-tracer fast path (record_spans
     # False leaves the ambient tracer null); any span consumer turns
     # recording on.

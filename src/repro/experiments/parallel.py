@@ -84,6 +84,7 @@ RESULT_NAMES: typing.Dict[str, str] = {
     "fig19": "fig19_ipc_doitg",
     "fig20": "fig20_power_gemver",
     "fig21": "fig21_power_doitg",
+    "endurance": "endurance_reliability",
 }
 
 

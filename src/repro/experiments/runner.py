@@ -19,6 +19,9 @@ from repro.systems.base import ExecutionResult
 from repro.workloads import all_workloads, generate_traces, workload
 from repro.workloads.trace import TraceBundle
 
+if typing.TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.faults.plan import FaultConfig
+
 #: The 15 evaluated workloads in the figures' plotting order.
 EVAL_WORKLOADS: typing.Tuple[str, ...] = tuple(
     spec.name for spec in all_workloads())
@@ -40,13 +43,25 @@ class ExperimentConfig:
     l1_bytes: int = 2 * 1024
     l2_bytes: int = 16 * 1024
     workloads: typing.Tuple[str, ...] = EVAL_WORKLOADS
+    #: Optional ``--faults`` plan spec (``key=value,...``); None runs
+    #: fault-free.  Kept as the raw string so the config stays
+    #: trivially hashable for the parallel runner's cache key.
+    faults: typing.Optional[str] = None
 
     def system_config(self) -> SystemConfig:
         """SystemConfig this experiment runs under."""
         return SystemConfig(
             accelerator=AcceleratorConfig(l1_bytes=self.l1_bytes,
                                           l2_bytes=self.l2_bytes),
-            dram_fraction=self.dram_fraction)
+            dram_fraction=self.dram_fraction,
+            faults=self.fault_config())
+
+    def fault_config(self) -> typing.Optional["FaultConfig"]:
+        """Parsed fault plan, or None when running fault-free."""
+        if self.faults is None:
+            return None
+        from repro.faults.plan import FaultConfig
+        return FaultConfig.parse(self.faults)
 
     def bundle(self, name: str,
                rounds: int | None = None) -> TraceBundle:

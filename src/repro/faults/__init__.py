@@ -1,0 +1,23 @@
+"""Deterministic fault injection and resilience for the PRAM stack.
+
+* :class:`~repro.faults.plan.FaultConfig` — a validated, seeded fault
+  plan (read bit-flips, wear-dependent program failures, stuck-at
+  wear-out, partition stalls) parseable from the CLI's ``--faults``
+  spec;
+* :class:`~repro.faults.plan.FaultState` — the runtime decision engine
+  (hash-based draws, reproducible across serial/parallel runs) plus
+  injection and resilience counters;
+* :mod:`~repro.faults.ecc` — the behavioural SEC-DED model the
+  controller datapath runs over read bursts.
+"""
+
+from repro.faults.ecc import EccResult, apply_bit_flips, secded_decode
+from repro.faults.plan import FaultConfig, FaultState
+
+__all__ = [
+    "EccResult",
+    "FaultConfig",
+    "FaultState",
+    "apply_bit_flips",
+    "secded_decode",
+]

@@ -75,6 +75,21 @@ class WordStateTracker:
             self.total_reset_passes += len(words)
         return reset_needed
 
+    def set_pass(self, row: int, words: typing.Iterable[int]) -> None:
+        """SET-only pulse over already-RESET cells (program retry).
+
+        The program-and-verify retry path re-issues just the failed
+        words' SET pass (mirroring selective erasing's asymmetry), so
+        it consumes endurance and marks the words programmed without
+        a RESET pass.
+        """
+        for word in words:
+            self._check(word)
+            key = (row, word)
+            self._programmed.add(key)
+            self._write_counts[key] = self._write_counts.get(key, 0) + 1
+            self.total_set_passes += 1
+
     def reset(self, row: int, words: typing.Iterable[int]) -> None:
         """RESET ``words`` back to pristine (selective erasing primitive).
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import typing
 
+from repro.faults.ecc import apply_bit_flips
+from repro.faults.plan import FaultState
 from repro.pram import overlay_window as ow
 from repro.pram.cell import WordStateTracker
 from repro.pram.constants import PramGeometry, PramTimingParams
@@ -29,7 +31,8 @@ class PramModule:
 
     def __init__(self, geometry: PramGeometry = PramGeometry(),
                  params: PramTimingParams = PramTimingParams(),
-                 channel_id: int = 0, module_id: int = 0) -> None:
+                 channel_id: int = 0, module_id: int = 0,
+                 faults: FaultState | None = None) -> None:
         self.geometry = geometry
         self.params = params
         self.timing = TimingModel(params, geometry)
@@ -54,11 +57,19 @@ class PramModule:
         self._program_end: typing.Dict[int, float] = {}
         self._paused_remaining: typing.Dict[int, float] = {}
         self.pauses = 0
+        # Optional fault injection (repro.faults): the device records
+        # the faults it suffered so the controller can verify/retry via
+        # take_read_fault()/take_program_failures().  None costs one
+        # attribute check per entry point.
+        self._faults = faults
+        self._read_fault: typing.Tuple[int, ...] = ()
+        self._program_failures: typing.List[typing.Tuple[int, int]] = []
         # Operation counters for the energy model and diagnostics.
         self.reads = 0
         self.programs = 0
         self.resets = 0
         self.erases = 0
+        self.retry_programs = 0
 
     # ------------------------------------------------------------------
     # Partition busy bookkeeping
@@ -102,6 +113,12 @@ class PramModule:
         return finish
 
     def _occupy(self, partition: int, start: float, duration: float) -> float:
+        faults = self._faults
+        if faults is not None and faults.stalls_on:
+            # Injected stuck-busy window: the partition holds its busy
+            # state longer than the timing model says it should.
+            duration += faults.partition_stall(
+                self.channel_id, self.module_id, partition)
         begin = max(start, self._partition_busy_until[partition])
         finish = begin + duration
         self._partition_busy_until[partition] = finish
@@ -153,7 +170,17 @@ class PramModule:
             )
         self.reads += 1
         finish = now + self.timing.read_preamble() + self.timing.burst(size)
-        return finish, pair.data[column:column + size]
+        data = pair.data[column:column + size]
+        faults = self._faults
+        if faults is not None and faults.read_faults_on:
+            bits = faults.read_flip_bits(
+                self.channel_id, self.module_id,
+                pair.partition if pair.partition is not None else -1,
+                pair.row if pair.row is not None else -1, size)
+            if bits:
+                data = apply_bit_flips(data, bits)
+                self._read_fault = bits
+        return finish, data
 
     # ------------------------------------------------------------------
     # Write path: overlay window + program buffer
@@ -200,7 +227,11 @@ class PramModule:
         self.window.write_register(ow.REG_EXECUTE, 1)
         command, flat, size, payload = self.window.launch()
         partition, row, column = self._split_window_address(flat)
-        if command == ow.CMD_PROGRAM:
+        # Failures belong to exactly one program: stale records from
+        # background work (pre-resets, gap moves) must not alias into
+        # the next request's verify pass.
+        self._program_failures = []
+        if command in (ow.CMD_PROGRAM, ow.CMD_RETRY_PROGRAM):
             rows_touched = (column + max(size, 1) + self.geometry.row_bytes
                             - 1) // self.geometry.row_bytes
             for offset in range(rows_touched):
@@ -216,6 +247,12 @@ class PramModule:
             finish = self._occupy(partition, now, duration)
             self.resets += 1
             span_name = "pre_reset"
+        elif command == ow.CMD_RETRY_PROGRAM:
+            duration = self._apply_program(partition, row, column, payload,
+                                           set_only=True)
+            finish = self._occupy(partition, now, duration)
+            self.retry_programs += 1
+            span_name = "retry_program"
         else:
             duration = self._apply_program(partition, row, column, payload)
             finish = self._occupy(partition, now, duration)
@@ -256,6 +293,26 @@ class PramModule:
         """Cell-state tracker of one partition (tests, wear studies)."""
         self._check_partition(partition)
         return self._cells[partition]
+
+    def take_read_fault(self) -> typing.Tuple[int, ...]:
+        """Consume the flipped-bit record of the last read burst.
+
+        The controller calls this synchronously after
+        :meth:`read_burst` (no yield in between), so concurrent chunks
+        on one module can never observe each other's record.
+        """
+        bits, self._read_fault = self._read_fault, ()
+        return bits
+
+    def take_program_failures(self) -> typing.List[typing.Tuple[int, int]]:
+        """Consume the (row, word) SET failures of the last program.
+
+        This is the device's program-and-verify status: a non-empty
+        list means the named words still hold their pre-program bytes
+        and need a retry (or row retirement).
+        """
+        failures, self._program_failures = self._program_failures, []
+        return failures
 
     def peek(self, partition: int, row: int) -> bytes:
         """Direct functional read of one row (testing/verification)."""
@@ -334,18 +391,42 @@ class PramModule:
         return result
 
     def _apply_program(self, partition: int, row: int, column: int,
-                       payload: bytes) -> float:
+                       payload: bytes, set_only: bool = False) -> float:
         duration = 0.0
         tracker = self._cells[partition]
+        faults = self._faults
         cursor = 0
         for target_row, words in self._words_touched(row, column, len(payload)):
             start = column if target_row == row else 0
             chunk = min(self.geometry.row_bytes - start, len(payload) - cursor)
-            needs_reset = tracker.program(target_row, words)
-            duration += self.timing.array_program(needs_reset)
-            existing = bytearray(self._read_row(partition, target_row))
-            existing[start:start + chunk] = payload[cursor:cursor + chunk]
-            self._storage[(partition, target_row)] = bytes(existing)
+            if set_only:
+                # Program-and-verify retry: the failed words' cells are
+                # re-SET without a RESET pass (the selective-erasing
+                # asymmetry applied to recovery).
+                tracker.set_pass(target_row, words)
+                duration += self.timing.array_program(False)
+            else:
+                needs_reset = tracker.program(target_row, words)
+                duration += self.timing.array_program(needs_reset)
+            existing = self._read_row(partition, target_row)
+            updated = bytearray(existing)
+            updated[start:start + chunk] = payload[cursor:cursor + chunk]
+            if faults is not None and faults.program_faults_on:
+                failed = faults.program_word_failures_for(
+                    self.channel_id, self.module_id, partition, target_row,
+                    words,
+                    lambda w, r=target_row: tracker.writes_to(r, w))
+                if failed:
+                    # Failed SET passes leave the word's cells (and
+                    # bytes) exactly as they were before the pulse.
+                    word_bytes = self.geometry.word_bytes
+                    for word in failed:
+                        lo = word * word_bytes
+                        updated[lo:lo + word_bytes] = existing[
+                            lo:lo + word_bytes]
+                    self._program_failures.extend(
+                        (target_row, word) for word in failed)
+            self._storage[(partition, target_row)] = bytes(updated)
             self.buffers.invalidate_row(partition, target_row)
             cursor += chunk
         return duration

@@ -40,6 +40,7 @@ PROGRAM_BUFFER_OFFSET = 0x800
 CMD_PROGRAM = 0x41
 CMD_SELECTIVE_ERASE = 0x42  # program of all-zero words (RESET-only)
 CMD_ERASE = 0x43            # bulk partition-range erase
+CMD_RETRY_PROGRAM = 0x44    # SET-only re-program of verify-failed words
 
 #: Size of the meta-information block at the window base (Figure 4).
 META_BYTES = 128
@@ -124,7 +125,8 @@ class OverlayWindow:
         :meth:`complete` when the array program finishes.
         """
         command = self._registers[REG_COMMAND]
-        if command not in (CMD_PROGRAM, CMD_SELECTIVE_ERASE, CMD_ERASE):
+        if command not in (CMD_PROGRAM, CMD_SELECTIVE_ERASE, CMD_ERASE,
+                           CMD_RETRY_PROGRAM):
             raise ProtocolError(f"unknown command code {command:#x}")
         if self._registers[REG_EXECUTE] != 1:
             raise ProtocolError("execute register not set")

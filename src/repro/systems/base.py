@@ -24,6 +24,7 @@ import typing
 from repro.accel import Accelerator, AcceleratorConfig, AcceleratorStats
 from repro.accel.mcu import MemoryBackend
 from repro.energy import EnergyAccount, EnergyModel
+from repro.faults.plan import FaultConfig
 from repro.host import PcieLink
 from repro.sim import Breakdown, Simulator, TimeSeries
 from repro.workloads.trace import TraceBundle
@@ -46,6 +47,9 @@ class SystemConfig:
     #: thrashing.  Lower it to study capacity pressure.
     dram_fraction: float = 1.0
     energy_model: EnergyModel = EnergyModel()
+    #: Optional fault-injection plan (repro.faults); only the PRAM
+    #: systems honour it — DRAM/SSD media are modelled fault-free.
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.dram_fraction <= 1.0:

@@ -97,7 +97,8 @@ class DramlessSystem(AcceleratedSystem):
             self._firmware_model = None
         subsystem = PramSubsystem(
             sim, geometry=self.geometry, params=self.params,
-            policy=self.policy, firmware=self._firmware_model)
+            policy=self.policy, firmware=self._firmware_model,
+            faults=self.config.faults)
         return PramBackend(sim, energy, subsystem)
 
     def _finalize_energy(self, energy: EnergyAccount,

@@ -20,6 +20,11 @@ slices on the ``requests`` track) is decomposed into named segments:
     Phase 3: the RDB data burst over the channel bus.
 ``pcie``
     Host-link transfer time attributed to the request.
+``retry``
+    Resilience time under fault injection: verify reads, SET-only
+    re-programs of failed words, and bad-row remap programs
+    (``verify_read`` / ``retry_program`` / ``remap_program``).  Zero on
+    fault-free runs.
 ``interleave_hidden``
     The Figure 12 quantity: burst time that ran *while another
     partition's array access was in flight* — latency the
@@ -52,6 +57,7 @@ SEGMENTS: typing.Tuple[str, ...] = (
     "activate",
     "array_access",
     "rdb_burst",
+    "retry",
     "pcie",
     "interleave_hidden",
 )
@@ -67,6 +73,9 @@ SPAN_SEGMENT: typing.Dict[str, str] = {
     "write_recovery": "array_access",
     "read_burst": "rdb_burst",
     "transfer": "pcie",
+    "verify_read": "retry",
+    "retry_program": "retry",
+    "remap_program": "retry",
 }
 
 #: Collapse order when same-request spans overlap in time (smaller
@@ -78,6 +87,9 @@ _PRIORITY: typing.Dict[str, int] = {
     "array_access": 3,
     "bus": 4,
     "pcie": 5,
+    # Lowest priority: retry is a coarse recovery envelope — the
+    # program/stage/burst spans inside it claim their own instants.
+    "retry": 6,
 }
 
 #: Invariant tolerances: exact up to float summation error.

@@ -1,0 +1,85 @@
+"""Reproducibility of faulted runs and null-plan byte-identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import fig13_schedulers, reliability, runner
+from repro.experiments.cli import main
+from repro.faults.plan import FaultConfig
+
+QUICK = runner.ExperimentConfig(scale=0.05, agents=3,
+                                workloads=("gemver", "doitg"))
+
+PLAN = ("seed=7,program_fail=0.05,endurance=24,wear_factor=0.5,"
+        "read_flip=0.002,spares=4")
+
+
+@pytest.mark.determinism
+def test_faulted_replay_is_deterministic():
+    # The plugin runs this twice and diffs the kernel event traces.
+    bundle = QUICK.bundle("doitg")
+    reliability.replay(bundle, FaultConfig.parse(PLAN))
+
+
+def test_repeated_replays_are_identical():
+    bundle = QUICK.bundle("doitg")
+    plan = FaultConfig.parse(PLAN)
+    assert reliability.replay(bundle, plan) == reliability.replay(
+        bundle, plan)
+
+
+def test_endurance_experiment_repeats_identically():
+    config = dataclasses.replace(QUICK, workloads=("doitg",), faults=PLAN)
+    first = reliability.run(config)
+    second = reliability.run(config)
+    assert first == second
+    assert reliability.report(first) == reliability.report(second)
+
+
+@pytest.mark.determinism
+def test_cli_faulted_results_serial_vs_sharded(tmp_path, monkeypatch,
+                                              capsys):
+    monkeypatch.setenv("REPRO_GIT_SHA", "0000test")
+    monkeypatch.setenv("REPRO_TIMESTAMP", "2026-01-01T00:00:00")
+    serial_dir = tmp_path / "serial"
+    sharded_dir = tmp_path / "sharded"
+    assert main(["endurance", "--quick", "--faults", PLAN,
+                 "--results", str(serial_dir)]) == 0
+    assert main(["endurance", "--quick", "--faults", PLAN, "--jobs", "2",
+                 "--results", str(sharded_dir)]) == 0
+    capsys.readouterr()
+    name = "endurance_reliability.txt"
+    serial = (serial_dir / name).read_bytes()
+    assert serial
+    assert (sharded_dir / name).read_bytes() == serial
+
+
+def test_cli_rejects_bad_fault_plan(capsys):
+    assert main(["endurance", "--quick", "--faults", "read_flip=lots"]) == 2
+    err = capsys.readouterr().err
+    assert "invalid --faults plan" in err
+    assert "read_flip_probability" in err
+
+
+class TestNullPlanIdentity:
+    """A plan that cannot fire leaves everything byte-identical."""
+
+    def test_zero_plan_matches_no_plan_results(self):
+        config = dataclasses.replace(QUICK, workloads=("doitg",))
+        zero = dataclasses.replace(config, faults="seed=9")
+        plain = fig13_schedulers.run(config)
+        zeroed = fig13_schedulers.run(zero)
+        assert zeroed == plain
+        assert (fig13_schedulers.report(zeroed)
+                == fig13_schedulers.report(plain))
+
+    def test_zero_plan_matches_no_plan_replay(self):
+        bundle = QUICK.bundle("doitg")
+        assert (reliability.replay(bundle, FaultConfig(seed=9))
+                == reliability.replay(bundle, None))
+
+    def test_null_plan_flags(self):
+        zero = FaultConfig(seed=9)
+        assert zero.is_null
+        assert not zero.can_fail_programs

@@ -1,0 +1,64 @@
+"""Behavioural SEC-DED model: correct singles, detect doubles."""
+
+from repro.faults.ecc import apply_bit_flips, secded_decode
+
+
+def pattern(size: int = 32) -> bytes:
+    return bytes((i * 37 + 5) % 256 for i in range(size))
+
+
+class TestApplyBitFlips:
+    def test_flips_named_bits(self):
+        data = bytes(4)
+        corrupted = apply_bit_flips(data, [0, 9])
+        assert corrupted == bytes([0x01, 0x02, 0x00, 0x00])
+
+    def test_double_flip_restores(self):
+        data = pattern()
+        assert apply_bit_flips(apply_bit_flips(data, [77]), [77]) == data
+
+
+class TestSecdedDecode:
+    def test_no_flips_is_identity(self):
+        data = pattern()
+        result = secded_decode(data, [])
+        assert result.data == data
+        assert result.corrected_bits == 0
+        assert result.uncorrectable_codewords == 0
+
+    def test_single_flip_corrected(self):
+        data = pattern()
+        corrupted = apply_bit_flips(data, [42])
+        result = secded_decode(corrupted, [42])
+        assert result.data == data
+        assert result.corrected_bits == 1
+        assert result.uncorrectable_codewords == 0
+
+    def test_double_flip_same_codeword_detected_not_corrected(self):
+        data = pattern()
+        bits = [70, 100]  # both inside codeword 1 (bits 64..127)
+        corrupted = apply_bit_flips(data, bits)
+        result = secded_decode(corrupted, bits)
+        assert result.data == corrupted  # left corrupted
+        assert result.corrected_bits == 0
+        assert result.uncorrectable_codewords == 1
+
+    def test_single_flips_in_two_codewords_both_corrected(self):
+        data = pattern()
+        bits = [3, 200]  # codewords 0 and 3
+        corrupted = apply_bit_flips(data, bits)
+        result = secded_decode(corrupted, bits)
+        assert result.data == data
+        assert result.corrected_bits == 2
+        assert result.uncorrectable_codewords == 0
+
+    def test_mixed_codewords(self):
+        data = pattern()
+        bits = [1, 2, 130]  # double in codeword 0, single in codeword 2
+        corrupted = apply_bit_flips(data, bits)
+        result = secded_decode(corrupted, bits)
+        assert result.corrected_bits == 1
+        assert result.uncorrectable_codewords == 1
+        # Codeword 2's flip is undone; codeword 0 stays corrupted.
+        assert result.data[16:] == data[16:]
+        assert result.data[:8] == corrupted[:8]

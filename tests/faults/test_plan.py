@@ -1,0 +1,190 @@
+"""FaultConfig validation/parsing and FaultState draw determinism."""
+
+import math
+
+import pytest
+
+from repro.faults.plan import FaultConfig, FaultState
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("read_flip_probability", -0.1),
+        ("read_flip_probability", 1.5),
+        ("read_flip_probability", float("nan")),
+        ("read_double_flip_probability", 2.0),
+        ("program_fail_probability", -1e-9),
+        ("partition_stall_probability", float("nan")),
+        ("wear_fail_factor", -0.5),
+        ("wear_fail_factor", float("nan")),
+        ("partition_stall_ns", -1.0),
+        ("retry_backoff_ns", float("nan")),
+    ])
+    def test_bad_value_names_field(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: value})
+
+    def test_endurance_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="endurance_budget"):
+            FaultConfig(endurance_budget=0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_program_retries"):
+            FaultConfig(max_program_retries=-1)
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(ValueError, match="spare_rows_per_partition"):
+            FaultConfig(spare_rows_per_partition=-1)
+
+    def test_defaults_are_null(self):
+        config = FaultConfig()
+        assert config.is_null
+        assert not config.can_fail_programs
+
+    def test_endurance_budget_alone_can_fail_programs(self):
+        assert FaultConfig(endurance_budget=8).can_fail_programs
+        assert not FaultConfig(endurance_budget=8).is_null
+
+
+class TestParse:
+    def test_aliases_round_trip(self):
+        config = FaultConfig.parse(
+            "seed=7,read_flip=0.25,program_fail=0.01,endurance=64,"
+            "wear_factor=0.5,retries=2,spares=3")
+        assert config.seed == 7
+        assert config.read_flip_probability == 0.25
+        assert config.program_fail_probability == 0.01
+        assert config.endurance_budget == 64
+        assert config.wear_fail_factor == 0.5
+        assert config.max_program_retries == 2
+        assert config.spare_rows_per_partition == 3
+
+    def test_full_field_names_accepted(self):
+        config = FaultConfig.parse("read_flip_probability=0.5")
+        assert config.read_flip_probability == 0.5
+
+    def test_unknown_key_is_named(self):
+        with pytest.raises(ValueError, match="bogus"):
+            FaultConfig.parse("bogus=1")
+
+    def test_non_numeric_value_names_field(self):
+        with pytest.raises(ValueError, match="read_flip_probability"):
+            FaultConfig.parse("read_flip=lots")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            FaultConfig.parse("seed")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            FaultConfig.parse("   ")
+
+    def test_parsed_values_validate(self):
+        with pytest.raises(ValueError, match="read_flip_probability"):
+            FaultConfig.parse("read_flip=7")
+
+
+class TestDraws:
+    CONFIG = FaultConfig(seed=3, read_flip_probability=0.5,
+                         read_double_flip_probability=0.5)
+
+    def test_same_site_same_sequence_across_instances(self):
+        one = FaultState(self.CONFIG)
+        two = FaultState(self.CONFIG)
+        sites = [(0, 1, 2, 3), (1, 0, 5, 9), (0, 15, 0, 42)]
+        first = [one.read_flip_bits(*site, 32) for site in sites]
+        second = [two.read_flip_bits(*site, 32) for site in sites]
+        assert first == second
+
+    def test_site_sequence_independent_of_interleaving(self):
+        ordered = FaultState(self.CONFIG)
+        shuffled = FaultState(self.CONFIG)
+        site_a = (0, 0, 0, 7)
+        site_b = (1, 3, 2, 11)
+        a_then_b = [ordered.read_flip_bits(*site_a, 32),
+                    ordered.read_flip_bits(*site_b, 32),
+                    ordered.read_flip_bits(*site_a, 32)]
+        b_then_a_second = shuffled.read_flip_bits(*site_b, 32)
+        b_then_a_first = shuffled.read_flip_bits(*site_a, 32)
+        b_then_a_third = shuffled.read_flip_bits(*site_a, 32)
+        assert a_then_b == [b_then_a_first, b_then_a_second,
+                            b_then_a_third]
+
+    def test_seed_changes_decisions(self):
+        base = FaultState(self.CONFIG)
+        other = FaultState(FaultConfig(seed=4, read_flip_probability=0.5,
+                                       read_double_flip_probability=0.5))
+        site = (0, 0, 0, 7)
+        draws_base = [base.read_flip_bits(*site, 32) for _ in range(32)]
+        draws_other = [other.read_flip_bits(*site, 32) for _ in range(32)]
+        assert draws_base != draws_other
+
+    def test_flip_bits_within_burst(self):
+        state = FaultState(FaultConfig(read_flip_probability=1.0,
+                                       read_double_flip_probability=1.0))
+        for row in range(64):
+            bits = state.read_flip_bits(0, 0, 0, row, 32)
+            assert bits
+            assert all(0 <= bit < 32 * 8 for bit in bits)
+            if len(bits) == 2:
+                # The double flip shares the first flip's codeword.
+                assert bits[0] // 64 == bits[1] // 64
+                assert bits[0] != bits[1]
+
+
+class TestProgramFailures:
+    def test_endurance_budget_makes_words_stick(self):
+        state = FaultState(FaultConfig(endurance_budget=2))
+        wear = {0: 2, 1: 1, 2: 5}
+        failed = state.program_word_failures_for(
+            0, 0, 0, 9, [0, 1, 2], wear.__getitem__)
+        assert failed == [0, 2]
+        assert (0, 0, 0, 9, 0) in state.stuck_words
+        # Stuck words keep failing even at zero wear.
+        again = state.program_word_failures_for(
+            0, 0, 0, 9, [0, 1, 2], lambda word: 0)
+        assert again == [0, 2]
+
+    def test_null_probability_never_fails(self):
+        state = FaultState(FaultConfig(endurance_budget=1000))
+        failed = state.program_word_failures_for(
+            0, 0, 0, 9, list(range(8)), lambda word: 1)
+        assert failed == []
+
+    def test_certain_probability_always_fails(self):
+        state = FaultState(FaultConfig(program_fail_probability=1.0))
+        failed = state.program_word_failures_for(
+            0, 0, 0, 9, list(range(8)), lambda word: 0)
+        assert failed == list(range(8))
+
+    def test_wear_scales_failure_probability(self):
+        config = FaultConfig(program_fail_probability=0.0,
+                             wear_fail_factor=1.0, endurance_budget=100)
+        fresh_failures = 0
+        worn_failures = 0
+        for row in range(200):
+            fresh = FaultState(config).program_word_failures_for(
+                0, 0, 0, row, [0], lambda word: 5)
+            worn = FaultState(config).program_word_failures_for(
+                0, 0, 0, row, [0], lambda word: 95)
+            fresh_failures += len(fresh)
+            worn_failures += len(worn)
+        assert worn_failures > fresh_failures
+
+    def test_counts_aggregate(self):
+        state = FaultState(FaultConfig(program_fail_probability=1.0))
+        state.program_word_failures_for(0, 0, 0, 1, [0, 1], lambda w: 0)
+        state.note_retry()
+        state.note_retries_exhausted()
+        state.note_row_retired()
+        state.note_retire_failed()
+        state.note_ecc(3, 1)
+        counts = state.counts()
+        assert counts["program_word_failures"] == 2.0
+        assert counts["retry_attempts"] == 1.0
+        assert counts["retries_exhausted"] == 1.0
+        assert counts["rows_retired"] == 1.0
+        assert counts["retire_failures"] == 1.0
+        assert counts["ecc_corrected_bits"] == 3.0
+        assert counts["ecc_uncorrectable"] == 1.0
+        assert all(not math.isnan(value) for value in counts.values())
