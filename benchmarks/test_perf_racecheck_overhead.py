@@ -1,0 +1,209 @@
+"""Disabled-sanitizer overhead guard.
+
+The race-detection rework touched the kernel's hottest paths:
+``Event.succeed``/``fail`` and ``Process._step`` gained a guarded
+``sim._sanitizer`` load, ``Resource.request``/``release`` hook their
+grant hand-offs, ``run()`` dispatches on the tie-break mode, and the
+batched same-timestamp drain asserts FIFO counter order.  With no
+sanitizer installed (every production run), all of that must cost at
+most 2% against a seed-replica kernel with none of the hooks.
+
+Methodology matches the null-tracer guard: interleaved timing
+(alternating variants so host drift hits both equally), min-of-N
+score, one retry with more repetitions on a failing first pass.
+"""
+
+import heapq
+import math
+import time
+
+from repro.controller import MemoryRequest, Op, PramSubsystem
+from repro.sim import Simulator
+from repro.sim.event import Event
+from repro.sim.process import Process
+from repro.sim.resource import Request, Resource
+
+#: Acceptance bound: hooked-but-disabled runtime / seed runtime.
+MAX_OVERHEAD = 1.02
+
+#: Simulated read stream size per timing sample.
+REQUESTS = 192
+
+
+# ----------------------------------------------------------------------
+# Seed replicas: the kernel methods with every sanitizer hook removed
+# ----------------------------------------------------------------------
+def _seed_succeed(self, value=None):
+    if self._triggered:
+        raise RuntimeError(f"{self!r} has already been triggered")
+    self._ok = True
+    self._value = value
+    self._triggered = True
+    self.sim._schedule(0.0, self)
+    return self
+
+
+def _seed_fail(self, exception):
+    if self._triggered:
+        raise RuntimeError(f"{self!r} has already been triggered")
+    if not isinstance(exception, BaseException):
+        raise TypeError("fail() requires an exception instance")
+    self._ok = False
+    self._value = exception
+    self._triggered = True
+    self.sim._schedule(0.0, self)
+    return self
+
+
+def _seed_process_step(self, value, throw):
+    import typing
+
+    previous = self.sim._active
+    self.sim._active = self
+    try:
+        if throw:
+            target = self._generator.throw(
+                typing.cast(BaseException, value))
+        else:
+            target = self._generator.send(value)
+    except StopIteration as stop:
+        self.succeed(stop.value)
+        return
+    except BaseException as exc:
+        self.fail(exc)
+        return
+    finally:
+        self.sim._active = previous
+    if not isinstance(target, Event):
+        message = TypeError(
+            f"process {self.name!r} yielded {target!r}; "
+            "processes may only yield Event instances")
+        self._step(message, throw=True)
+        return
+    if target.processed:
+        passthrough = Event(self.sim, name=f"{self.name}.passthrough")
+        passthrough._ok = target.ok
+        passthrough._value = target.value
+        passthrough._triggered = True
+        passthrough.callbacks.append(self._resume)
+        self.sim._schedule(0.0, passthrough)
+        self._waiting_on = passthrough
+    else:
+        target.callbacks.append(self._resume)
+        self._waiting_on = target
+
+
+def _seed_request(self):
+    req = Request(self)
+    if len(self._users) < self.capacity:
+        self._users.add(req)
+        req.succeed()
+    else:
+        self._queue.append(req)
+    return req
+
+
+def _seed_release(self, request):
+    if request in self._users:
+        self._users.remove(request)
+    elif request in self._queue:
+        self._queue.remove(request)
+        return
+    else:
+        raise ValueError(f"{request!r} does not hold {self.name}")
+    while self._queue and len(self._users) < self.capacity:
+        waiter = self._queue.popleft()
+        self._users.add(waiter)
+        waiter.succeed()
+
+
+def _seed_run(self, until=None):
+    if until is not None and math.isnan(until):
+        raise ValueError("cannot run until NaN")
+    if until is not None and until < self._now:
+        raise ValueError(
+            f"cannot run until {until} ns: clock already at {self._now} ns")
+    if self._tracing:
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+    else:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                break
+            self._now = when
+            while heap and heap[0][0] == when:
+                _, _, event = pop(heap)
+                callbacks, event.callbacks = event.callbacks, []
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+    if until is not None:
+        self._now = max(self._now, until)
+
+
+_SEED_PATCHES = (
+    (Event, "succeed", _seed_succeed),
+    (Event, "fail", _seed_fail),
+    (Process, "_step", _seed_process_step),
+    (Resource, "request", _seed_request),
+    (Resource, "release", _seed_release),
+    (Simulator, "run", _seed_run),
+)
+
+
+def _drive() -> float:
+    sim = Simulator()
+    subsystem = PramSubsystem(sim)
+
+    def driver():
+        for index in range(REQUESTS):
+            request = MemoryRequest(Op.READ, (index * 512) % (1 << 20),
+                                    512)
+            yield sim.process(subsystem.submit(request))
+
+    sim.process(driver())
+    sim.run()
+    return sim.now
+
+
+def _sample() -> float:
+    start = time.perf_counter()
+    _drive()
+    return time.perf_counter() - start
+
+
+def _measure(repetitions: int, monkeypatch_ctx) -> float:
+    """Min-of-N interleaved ratio: hooked kernel / seed kernel."""
+    current: list = []
+    seed: list = []
+    for _ in range(repetitions):
+        current.append(_sample())
+        with monkeypatch_ctx() as patch:
+            for target, name, replacement in _SEED_PATCHES:
+                patch.setattr(target, name, replacement)
+            seed.append(_sample())
+    return min(current) / min(seed)
+
+
+def test_seed_replicas_produce_identical_results(monkeypatch):
+    baseline = _drive()
+    for target, name, replacement in _SEED_PATCHES:
+        monkeypatch.setattr(target, name, replacement)
+    assert _drive() == baseline
+
+
+def test_disabled_sanitizer_overhead_within_bound(monkeypatch):
+    import pytest
+
+    _sample()  # warm caches/allocator before timing
+    ratio = _measure(7, pytest.MonkeyPatch.context)
+    if ratio > MAX_OVERHEAD:  # one retry with more repetitions
+        ratio = _measure(15, pytest.MonkeyPatch.context)
+    assert ratio <= MAX_OVERHEAD, (
+        f"hooked-but-disabled run is {ratio:.3f}x the seed kernel "
+        f"(bound {MAX_OVERHEAD}x)")

@@ -44,7 +44,34 @@ relies on:
     flagged unconditionally.  Atomic read-modify-writes
     (``self.count += 1``) never span a yield and are exempt.
 
+    The check is interprocedural within a class: a snapshot taken
+    through a helper (``x = self._load()`` where ``_load`` reads
+    ``self.level``) and a write-back through a helper
+    (``self._store(x)`` where ``_store`` assigns ``self.level``) are
+    traced through non-generator method calls, as are Resource
+    acquisitions performed inside helpers.
+
+``SIM006``
+    Unguarded shared-write family: two (or more) process-generator
+    methods of one class plainly assign the same ``self.<attr>`` and
+    none of them — directly or through a helper — acquires a Resource.
+    When both processes run at the same simulated timestamp, the
+    kernel's tie-break order decides the final value.  Augmented
+    assignments (``self.n += 1``) are exempt: they are atomic within a
+    task and accumulate commutatively.
+
+``SIM007``
+    Same-instant fan-out: a loop (or comprehension) with no
+    intervening ``yield`` spawning ``sim.process(self.<m>(...))``
+    where ``<m>`` is a generator method that plainly writes shared
+    attributes without acquiring a Resource.  Every spawned process
+    bootstraps at the *same* simulated instant, so their first
+    segments race on the tie-break order.  Yielding inside the loop
+    (staggered spawns) or guarding the writes exempts it.
+
 A trailing ``# noqa: SIMxxx`` comment suppresses a rule on that line.
+The dynamic counterpart to SIM005–SIM007 is
+:mod:`repro.analysis.racecheck`, which observes actual kernel runs.
 """
 
 from __future__ import annotations
@@ -285,17 +312,134 @@ def _name_reads(expr: ast.expr) -> typing.Set[str]:
             if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)}
 
 
+@dataclasses.dataclass
+class _MethodSummary:
+    """Effect summary of one class method for interprocedural rules.
+
+    ``reads``/``plain_writes``/``aug_writes`` are ``self.<attr>`` names;
+    after :func:`_propagate_summaries`, effects of *non-generator*
+    helper methods called as ``self.<helper>(...)`` are folded in
+    (their bodies run inline in the caller's task).  Generator callees
+    are excluded — calling one only builds a generator object; its body
+    runs as a separate process.
+    """
+
+    name: str
+    node: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    is_generator: bool
+    reads: typing.Set[str] = dataclasses.field(default_factory=set)
+    plain_writes: typing.Set[str] = dataclasses.field(default_factory=set)
+    aug_writes: typing.Set[str] = dataclasses.field(default_factory=set)
+    acquires: bool = False
+    self_calls: typing.Set[str] = dataclasses.field(default_factory=set)
+    #: Methods invoked as ``yield from self.<m>(...)`` — sub-generators
+    #: that run inline in this method's process, not concurrent bodies.
+    delegated_calls: typing.Set[str] = dataclasses.field(
+        default_factory=set)
+
+
+def _summarize_method(func: typing.Union[ast.FunctionDef,
+                                         ast.AsyncFunctionDef]
+                      ) -> _MethodSummary:
+    summary = _MethodSummary(func.name, func, _is_generator(func))
+    for node in _own_nodes(func):
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr_target(node)
+            if attr is not None:
+                if isinstance(node.ctx, ast.Load):
+                    summary.reads.add(attr)
+                elif isinstance(node.ctx, ast.Store):
+                    summary.plain_writes.add(attr)
+        elif isinstance(node, ast.AugAssign):
+            attr = _self_attr_target(node.target)
+            if attr is not None:
+                summary.aug_writes.add(attr)
+                summary.reads.add(attr)
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                if callee.attr in {"request", "use"}:
+                    summary.acquires = True
+                if (isinstance(callee.value, ast.Name)
+                        and callee.value.id == "self"):
+                    summary.self_calls.add(callee.attr)
+        elif isinstance(node, ast.YieldFrom):
+            value = node.value
+            if (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and isinstance(value.func.value, ast.Name)
+                    and value.func.value.id == "self"):
+                summary.delegated_calls.add(value.func.attr)
+    # ast.Store on an Attribute covers both plain assigns and AugAssign
+    # targets; subtract the augmented ones so the two sets are disjoint.
+    summary.plain_writes -= summary.aug_writes
+    return summary
+
+
+def _summarize_class(cls: ast.ClassDef
+                     ) -> typing.Dict[str, _MethodSummary]:
+    """Fixpoint effect summaries for every directly-defined method."""
+    summaries = {
+        node.name: _summarize_method(node)
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    changed = True
+    while changed:
+        changed = False
+        for summary in summaries.values():
+            for callee_name in summary.self_calls | summary.delegated_calls:
+                callee = summaries.get(callee_name)
+                if callee is None:
+                    continue
+                # Non-generator helpers run inline; generator callees
+                # fold only when driven via ``yield from`` (delegation
+                # also runs inline, in the caller's process).
+                if callee.is_generator and (
+                        callee_name not in summary.delegated_calls):
+                    continue
+                before = (len(summary.reads), len(summary.plain_writes),
+                          len(summary.aug_writes), summary.acquires)
+                summary.reads |= callee.reads
+                summary.plain_writes |= callee.plain_writes
+                summary.aug_writes |= callee.aug_writes
+                summary.acquires = summary.acquires or callee.acquires
+                after = (len(summary.reads), len(summary.plain_writes),
+                         len(summary.aug_writes), summary.acquires)
+                changed = changed or before != after
+    return summaries
+
+
 def _check_sim005(func: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef],
-                  out: _Collector) -> None:
+                  out: _Collector,
+                  summaries: typing.Optional[
+                      typing.Dict[str, _MethodSummary]] = None) -> None:
     if not _is_generator(func):
         return
     own = list(_own_nodes(func))
+    helpers = summaries or {}
+
+    def _helper(call: ast.Call) -> _MethodSummary | None:
+        callee = call.func
+        if (isinstance(callee, ast.Attribute)
+                and isinstance(callee.value, ast.Name)
+                and callee.value.id == "self"):
+            summary = helpers.get(callee.attr)
+            if summary is not None and not summary.is_generator:
+                return summary
+        return None
+
     # Functions that acquire a Resource slot are presumed to hold it
     # across their critical section; the kernel serializes the holders.
+    # Acquisition through a non-generator helper counts.
     for node in own:
-        if (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
+        if not isinstance(node, ast.Call):
+            continue
+        if (isinstance(node.func, ast.Attribute)
                 and node.func.attr in {"request", "use"}):
+            return
+        helper = _helper(node)
+        if helper is not None and helper.acquires:
             return
     for node in own:
         if isinstance(node, ast.Global):
@@ -306,36 +450,151 @@ def _check_sim005(func: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef],
                          if isinstance(node, (ast.Yield, ast.YieldFrom)))
     if not yield_lines:
         return
-    # local name -> (shared attr it snapshots, line of the snapshot)
-    snapshots: typing.Dict[str, typing.Tuple[str, int]] = {}
+    # local name -> {shared attr it snapshots: line of the snapshot}
+    snapshots: typing.Dict[str, typing.Dict[str, int]] = {}
     writes: typing.List[ast.Assign] = []
     for node in sorted(
             (n for n in own if isinstance(n, ast.Assign)),
             key=lambda n: n.lineno):
         targets = [t for t in node.targets if isinstance(t, ast.Name)]
-        attrs_read = _attr_reads(node.value)
+        attrs_read = set(_attr_reads(node.value))
+        # Interprocedural snapshot: x = self._load() reads whatever the
+        # helper reads.
+        for call in ast.walk(node.value):
+            if isinstance(call, ast.Call):
+                helper = _helper(call)
+                if helper is not None:
+                    attrs_read |= helper.reads
         for target in targets:
-            for attr in attrs_read:
-                snapshots[target.id] = (attr, node.lineno)
+            # Re-binding a local replaces its previous snapshot set.
+            snapshots[target.id] = {
+                attr: node.lineno for attr in sorted(attrs_read)}
         if any(_self_attr_target(t) is not None for t in node.targets):
             writes.append(node)
-    for write in writes:
-        written = {_self_attr_target(t) for t in write.targets}
-        for local in _name_reads(write.value):
-            snapshot = snapshots.get(local)
-            if snapshot is None:
-                continue
-            attr, read_line = snapshot
-            if attr not in written:
-                continue
-            if read_line >= write.lineno:
-                continue
-            if any(read_line < y < write.lineno for y in yield_lines):
-                out.add(write, "SIM005",
+
+    def _report(write_node: ast.AST, written: typing.Set[str],
+                value: ast.expr, via: str) -> None:
+        for local in sorted(_name_reads(value)):
+            for attr, read_line in snapshots.get(local, {}).items():
+                if attr not in written:
+                    continue
+                if read_line >= write_node.lineno:
+                    continue
+                if not any(read_line < y < write_node.lineno
+                           for y in yield_lines):
+                    continue
+                out.add(write_node, "SIM005",
                         f"self.{attr} was read into {local!r} at line "
-                        f"{read_line} and written back after a yield; "
-                        "other processes ran in between — hold a "
+                        f"{read_line} and written back{via} after a "
+                        "yield; other processes ran in between — hold a "
                         "repro.sim Resource around the read-modify-write")
+
+    for write in writes:
+        written_attrs = {
+            attr for attr in (_self_attr_target(t) for t in write.targets)
+            if attr is not None}
+        _report(write, written_attrs, write.value, "")
+    # Interprocedural write-back: self._store(stale) writes whatever the
+    # helper plainly assigns.
+    for node in own:
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        helper = _helper(node)
+        if helper is None or not helper.plain_writes:
+            continue
+        for arg in node.args:
+            _report(node, set(helper.plain_writes), arg,
+                    f" through self.{helper.name}()")
+
+
+def _check_sim006(cls: ast.ClassDef,
+                  summaries: typing.Dict[str, _MethodSummary],
+                  out: _Collector) -> None:
+    """Unguarded same-attribute write family across process methods."""
+    delegated: typing.Set[str] = set()
+    for summary in summaries.values():
+        delegated |= summary.delegated_calls
+    writers: typing.Dict[str, typing.List[_MethodSummary]] = {}
+    for summary in summaries.values():
+        if not summary.is_generator:
+            continue
+        if summary.name in delegated:
+            # Driven via ``yield from`` — a sub-generator of its
+            # caller's process, not an independent concurrent body.
+            continue
+        if not _is_process_generator(summary.node):
+            continue
+        for attr in summary.plain_writes:
+            writers.setdefault(attr, []).append(summary)
+    for attr in sorted(writers):
+        family = writers[attr]
+        if len(family) < 2:
+            continue
+        if any(summary.acquires for summary in family):
+            continue
+        names = ", ".join(sorted(summary.name for summary in family))
+        first = min(family, key=lambda summary: summary.node.lineno)
+        out.add(first.node, "SIM006",
+                f"process methods {names} of {cls.name} all assign "
+                f"self.{attr} without a Resource guard; at equal "
+                "simulated timestamps the kernel tie-break order decides "
+                "the final value")
+
+
+def _check_sim007(func: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                  summaries: typing.Dict[str, _MethodSummary],
+                  out: _Collector) -> None:
+    """Same-instant fan-out onto racy process bodies."""
+
+    def _spawned_methods(call: ast.Call) -> typing.Iterator[str]:
+        # <anything>.process(self.<m>(...)) — the kernel bootstraps the
+        # new process at the current instant.
+        if not (isinstance(call.func, ast.Attribute)
+                and call.func.attr == "process"):
+            return
+        for arg in call.args:
+            if (isinstance(arg, ast.Call)
+                    and isinstance(arg.func, ast.Attribute)
+                    and isinstance(arg.func.value, ast.Name)
+                    and arg.func.value.id == "self"):
+                yield arg.func.attr
+
+    seen: typing.Set[typing.Tuple[int, str]] = set()
+
+    def _flag(node: ast.Call, method_name: str) -> None:
+        target = summaries.get(method_name)
+        if (target is None or not target.is_generator
+                or not target.plain_writes or target.acquires):
+            return
+        key = (id(node), method_name)
+        if key in seen:
+            return  # nested no-yield loops walk the same call twice
+        seen.add(key)
+        attrs = ", ".join(
+            f"self.{attr}" for attr in sorted(target.plain_writes))
+        out.add(node, "SIM007",
+                f"loop spawns {method_name}() processes at the same "
+                f"simulated instant; their unguarded writes to {attrs} "
+                "race on the tie-break order — yield between spawns or "
+                "guard the writes with a Resource")
+
+    def _scan(nodes: typing.Iterable[ast.AST]) -> None:
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                for method_name in _spawned_methods(node):
+                    _flag(node, method_name)
+
+    for loop in _own_nodes(func):
+        if isinstance(loop, (ast.For, ast.While)):
+            if any(isinstance(node, (ast.Yield, ast.YieldFrom))
+                   for stmt in loop.body for node in ast.walk(stmt)):
+                continue  # staggered spawns: each iteration waits
+            _scan(node for stmt in loop.body for node in ast.walk(stmt))
+        elif isinstance(loop, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp)):
+            # yield is a syntax error inside a comprehension, so every
+            # comprehension spawn is same-instant by construction.
+            _scan(ast.walk(loop.elt))
 
 
 # ----------------------------------------------------------------------
@@ -353,12 +612,23 @@ def lint_source(source: str, path: str = "<string>"
     out = _Collector(path, source.splitlines())
     _check_sim001(tree, out)
     _check_sim003(tree, out)
+    # Methods get class-level effect summaries (interprocedural SIM005,
+    # SIM006/SIM007); free functions are checked in isolation.
+    method_summaries: typing.Dict[int, typing.Dict[str, _MethodSummary]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            summaries = _summarize_class(node)
+            _check_sim006(node, summaries, out)
+            for summary in summaries.values():
+                method_summaries[id(summary.node)] = summaries
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             _check_sim004(node, out)
             if _is_generator(node):
+                summaries = method_summaries.get(id(node), {})
                 _check_sim002(node, out)
-                _check_sim005(node, out)
+                _check_sim005(node, out, summaries or None)
+                _check_sim007(node, summaries, out)
     return sorted(out.violations, key=lambda v: (v.line, v.code))
 
 

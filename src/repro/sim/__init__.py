@@ -19,6 +19,13 @@ from repro.sim.engine import Simulator
 from repro.sim.event import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resource import Channel, Resource, Store
+from repro.sim.sanitizer import (
+    KernelSanitizer,
+    current_sanitizer,
+    current_tiebreak_seed,
+    use_sanitizer,
+    use_tiebreak,
+)
 from repro.sim.stats import Breakdown, Counter, Histogram, TimeSeries
 
 __all__ = [
@@ -30,10 +37,15 @@ __all__ = [
     "Event",
     "Histogram",
     "Interrupt",
+    "KernelSanitizer",
     "Process",
     "Resource",
     "Simulator",
     "Store",
     "TimeSeries",
     "Timeout",
+    "current_sanitizer",
+    "current_tiebreak_seed",
+    "use_sanitizer",
+    "use_tiebreak",
 ]

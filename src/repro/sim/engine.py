@@ -1,14 +1,36 @@
-"""The simulation kernel: clock, event heap, and run loop."""
+"""The simulation kernel: clock, event heap, and run loop.
+
+Ordering contract
+-----------------
+The heap orders occurrences by ``(timestamp, tie-break counter)``.  The
+counter increments per schedule, so **events that land on the same
+simulated instant drain in FIFO schedule order**, and events scheduled
+*by a callback at the current instant* sort after everything already
+queued for that instant.  This FIFO tie-break is a documented, asserted
+invariant (see :meth:`Simulator.run`): the batched same-timestamp drain,
+the sharded parallel merge, and any future compiled/batched kernel all
+reproduce results byte-for-byte only because equal-timestamp ordering
+is deterministic.  :mod:`repro.analysis.racecheck` certifies which
+workloads are *independent* of that ordering (and would therefore
+survive a kernel that reorders within an instant); the seeded
+``tiebreak_seed`` debug mode below is the mechanism it uses.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
 import math
+import random
 import typing
 
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.sanitizer import (
+    KernelSanitizer,
+    current_sanitizer,
+    current_tiebreak_seed,
+)
 from repro.telemetry.tracer import Tracer, combine, current_tracer
 
 GeneratorType = typing.Generator
@@ -40,11 +62,32 @@ class Simulator:
         assert sim.now == 10.0
     """
 
-    def __init__(self, tracer: Tracer | None = None) -> None:
+    def __init__(self, tracer: Tracer | None = None,
+                 sanitizer: KernelSanitizer | None = None,
+                 tiebreak_seed: int | None = None) -> None:
         self._now = 0.0
         self._heap: typing.List[HeapEntry] = []
         self._counter = itertools.count()
         self._active: Process | None = None
+        # Race-sanitizer hooks (repro.analysis.racecheck).  Explicit
+        # argument wins over the ambient slot; with neither, every
+        # guarded hook site sees None and the scheduling fast path is
+        # left untouched (no per-schedule guard at all — the sanitized
+        # variant is swapped in as an instance attribute only when a
+        # sanitizer is installed).
+        self._sanitizer: KernelSanitizer | None = (
+            sanitizer if sanitizer is not None else current_sanitizer())
+        self._sanitizing = self._sanitizer is not None
+        if self._sanitizing:
+            self._schedule = (  # type: ignore[method-assign]
+                self._schedule_sanitized)
+        # Tie-break shuffle debug mode: with a seed, run() drains each
+        # same-timestamp batch in a seeded random permutation instead
+        # of FIFO order (the shuffle oracle's lever).  None = FIFO.
+        seed = (tiebreak_seed if tiebreak_seed is not None
+                else current_tiebreak_seed())
+        self._tiebreak_rng = (random.Random(seed) if seed is not None
+                              else None)
         # Explicit tracer and the ambient one (use_tracer) both observe
         # this kernel; with neither active this collapses to the null
         # tracer and step() pays one attribute load.  Binding happens at
@@ -111,6 +154,16 @@ class Simulator:
             f"cannot schedule {event!r}: negative delay {delay}"
         )
 
+    def _schedule_sanitized(self, delay: float, event: Event) -> None:
+        # Installed over _schedule (instance attribute) only when a
+        # sanitizer is bound, so the uninstrumented fast path keeps its
+        # guard-free body.  The happens-before edge (scheduling task ->
+        # event) is recorded only for successfully admitted delays.
+        Simulator._schedule(self, delay, event)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_schedule(event)
+
     def peek(self) -> float:
         """Timestamp of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
@@ -138,6 +191,9 @@ class Simulator:
             raise RuntimeError("step() on an empty event heap")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.begin_task(event, when, self._event_label(event))
         tracer = self.tracer
         if tracer.enabled:
             self.events_processed += 1
@@ -153,6 +209,16 @@ class Simulator:
         With ``until`` set, the clock is advanced to exactly ``until``
         even if no event lands on that instant, matching the convention
         of mainstream DES kernels.
+
+        **FIFO tie-break invariant.**  Within one simulated instant,
+        events are processed in schedule (counter) order — the batched
+        drain below asserts it per batch.  Everything downstream that
+        promises byte-identical results (serial-vs-sharded merge, the
+        result cache, determinism-marked tests, the future compiled
+        kernel) inherits this invariant; ``tiebreak_seed`` is the one
+        sanctioned way to deviate from it, and exists precisely so
+        :mod:`repro.analysis.racecheck` can measure which workloads
+        depend on it.
         """
         if until is not None and math.isnan(until):
             raise ValueError("cannot run until NaN")
@@ -160,7 +226,9 @@ class Simulator:
             raise ValueError(
                 f"cannot run until {until} ns: clock already at {self._now} ns"
             )
-        if self._tracing:
+        if self._tiebreak_rng is not None:
+            self._run_shuffled(until)
+        elif self._tracing or self._sanitizing:
             while self._heap:
                 if until is not None and self._heap[0][0] > until:
                     break
@@ -180,11 +248,58 @@ class Simulator:
                 if until is not None and when > until:
                     break
                 self._now = when
+                last_seq = -1
                 while heap and heap[0][0] == when:
-                    _, _, event = pop(heap)
+                    _, seq, event = pop(heap)
+                    # Regression guard for the FIFO tie-break invariant
+                    # racecheck certifies against: equal timestamps
+                    # must drain in schedule-counter order.
+                    assert seq > last_seq, (
+                        "same-timestamp drain broke FIFO schedule order")
+                    last_seq = seq
                     callbacks, event.callbacks = event.callbacks, []
                     event._processed = True
                     for callback in callbacks:
                         callback(event)
         if until is not None:
             self._now = max(self._now, until)
+
+    def _run_shuffled(self, until: float | None) -> None:
+        """Debug drain: seeded permutation of each same-instant batch.
+
+        Collects every event already queued for the current instant,
+        shuffles the batch with the simulator's tie-break RNG, and
+        processes it.  Events a callback schedules *at the same
+        instant* form the next batch (shuffled separately), so
+        causality is preserved: nothing runs before the task that
+        scheduled it.  Each distinct seed explores one alternative
+        tie-break order; FIFO is the identity the shuffle oracle diffs
+        against.
+        """
+        rng = self._tiebreak_rng
+        assert rng is not None
+        heap = self._heap
+        tracer = self.tracer if self._tracing else None
+        sanitizer = self._sanitizer
+        batch: typing.List[HeapEntry] = []
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                break
+            self._now = when
+            del batch[:]
+            while heap and heap[0][0] == when:
+                batch.append(heapq.heappop(heap))
+            if len(batch) > 1:
+                rng.shuffle(batch)
+            for _, _, event in batch:
+                if sanitizer is not None:
+                    sanitizer.begin_task(event, when,
+                                         self._event_label(event))
+                if tracer is not None:
+                    self.events_processed += 1
+                    tracer.kernel_event(when, self._event_label(event))
+                callbacks, event.callbacks = event.callbacks, []
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)

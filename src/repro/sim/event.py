@@ -69,6 +69,12 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
+        # Sanitizer (repro.analysis.racecheck): label the upcoming
+        # schedule edge as a trigger (succeed -> wait causality) rather
+        # than a plain schedule.  One guarded load when uninstrumented.
+        sanitizer = self.sim._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_trigger(self, True)
         self.sim._schedule(0.0, self)
         return self
 
@@ -81,6 +87,9 @@ class Event:
         self._ok = False
         self._value = exception
         self._triggered = True
+        sanitizer = self.sim._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_trigger(self, False)
         self.sim._schedule(0.0, self)
         return self
 

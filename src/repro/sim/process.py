@@ -71,6 +71,12 @@ class Process(Event):
     def _step(self, value: object, throw: bool) -> None:
         previous = self.sim._active
         self.sim._active = self
+        # Sanitizer actor attribution: the happens-before report names
+        # the process whose segment performed each watched access, not
+        # just the anonymous event that resumed it.
+        sanitizer = self.sim._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_actor(self)
         try:
             if throw:
                 target = self._generator.throw(

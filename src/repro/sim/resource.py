@@ -57,15 +57,28 @@ class Resource:
         req = Request(self)
         if len(self._users) < self.capacity:
             self._users.add(req)
+            sanitizer = self.sim._sanitizer
+            if sanitizer is not None:
+                sanitizer.on_acquire(self, req)
             req.succeed()
         else:
             self._queue.append(req)
         return req
 
     def release(self, request: Request) -> None:
-        """Return a previously granted slot to the pool."""
+        """Return a previously granted slot to the pool.
+
+        Hand-offs to queued waiters happen inside the releasing task,
+        so release -> next-grant is a happens-before edge by
+        construction; the sanitizer hooks label it explicitly so
+        racecheck reports can distinguish Resource causality from
+        ordinary scheduling.
+        """
+        sanitizer = self.sim._sanitizer
         if request in self._users:
             self._users.remove(request)
+            if sanitizer is not None:
+                sanitizer.on_release(self, request)
         elif request in self._queue:
             self._queue.remove(request)
             return
@@ -74,6 +87,8 @@ class Resource:
         while self._queue and len(self._users) < self.capacity:
             waiter = self._queue.popleft()
             self._users.add(waiter)
+            if sanitizer is not None:
+                sanitizer.on_grant(self, waiter)
             waiter.succeed()
 
     def use(self, duration: float) -> typing.Generator:

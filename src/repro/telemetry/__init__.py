@@ -76,11 +76,14 @@ from repro.telemetry.bench import (  # noqa: E402
     CompareResult,
     MetricDelta,
     bench_filename,
+    clear_attestations,
     collect_provenance,
     compare,
     load_bench,
     merge_reports,
+    record_attestation,
     render_compare,
+    stamp_provenance,
     write_bench,
 )
 
@@ -129,6 +132,7 @@ __all__ = [
     "capture_metrics",
     "capture_tracer",
     "capture_window",
+    "clear_attestations",
     "collect_provenance",
     "combine",
     "compare",
@@ -142,12 +146,14 @@ __all__ = [
     "merge_tracer",
     "perfetto_document",
     "perfetto_events",
+    "record_attestation",
     "render_compare",
     "render_html",
     "render_text",
     "request_depth_series",
     "spanlog_lines",
     "spanlog_spans",
+    "stamp_provenance",
     "summarize",
     "track_gauges",
     "use_metrics",

@@ -162,7 +162,56 @@ def collect_provenance(
         provenance["seed"] = seed
     if agents is not None:
         provenance["agents"] = agents
+    if _ATTESTATIONS:
+        provenance["attestations"] = {
+            key: _ATTESTATIONS[key] for key in sorted(_ATTESTATIONS)}
     return provenance
+
+
+# ----------------------------------------------------------------------
+# Attestations
+# ----------------------------------------------------------------------
+#: Process-wide attestation registry merged into every provenance block.
+_ATTESTATIONS: typing.Dict[str, typing.Any] = {}
+
+
+def record_attestation(key: str, value: typing.Any) -> None:
+    """Register a machine-checked claim about this process's runs.
+
+    Attestations are facts an oracle *verified*, not configuration —
+    e.g. the tie-break shuffle oracle records ``tiebreak_independent``
+    after byte-diffing shuffled drain orders
+    (:func:`repro.analysis.racecheck.certify_tiebreak_independence`).
+    Every :func:`collect_provenance` call afterwards embeds them under
+    ``attestations``, so BENCH artifacts carry the claim alongside the
+    numbers it covers.  Re-recording a key overwrites it.
+    """
+    if not key:
+        raise ValueError("attestation key must be non-empty")
+    _ATTESTATIONS[key] = value
+
+
+def clear_attestations() -> None:
+    """Drop all recorded attestations (test isolation)."""
+    _ATTESTATIONS.clear()
+
+
+def stamp_provenance(path: typing.Union[str, pathlib.Path],
+                     key: str, value: typing.Any) -> None:
+    """Add one attestation to an already-written BENCH artifact.
+
+    CI runs the shuffle oracle *after* the benchmark job wrote its
+    BENCH_*.json; this rewrites the artifact in place with the new
+    attestation, preserving everything else byte-for-byte (stable
+    key order, same formatting as :func:`write_bench`).
+    """
+    report = load_bench(path)
+    attestations = report.provenance.setdefault("attestations", {})
+    if not isinstance(attestations, dict):
+        raise ValueError(
+            f"provenance attestations in {path} is not a mapping")
+    attestations[key] = value
+    write_bench(report, path)
 
 
 def bench_filename(sha: str) -> str:

@@ -1,0 +1,18 @@
+"""SIM005 (interprocedural): stale read-modify-write through helpers."""
+
+
+class Tank:
+    def __init__(self, sim):
+        self.sim = sim
+        self.level = 0
+
+    def _load(self):
+        return self.level
+
+    def _store(self, value):
+        self.level = value
+
+    def refill(self, amount):
+        snapshot = self._load()
+        yield self.sim.timeout(3.0)
+        self._store(snapshot + amount)

@@ -1,0 +1,22 @@
+"""SIM006: two process bodies plainly assign one attribute, unguarded."""
+
+
+class Device:
+    def __init__(self, sim):
+        self.sim = sim
+        self.state = 0
+        self.ticks = 0
+
+    def writer_a(self):
+        yield self.sim.timeout(5.0)
+        self.state = 1
+        self.ticks += 1  # augmented: atomic + commutative, exempt
+
+    def writer_b(self):
+        yield self.sim.timeout(5.0)
+        self._stamp(2)
+        self.ticks += 1
+
+    def _stamp(self, value):
+        # Interprocedural: the write reaches self.state through a helper.
+        self.state = value

@@ -71,6 +71,88 @@ def test_sim005_quiet_when_resource_held():
     assert lint_source(source) == []
 
 
+def test_sim005_interprocedural_snapshot_and_writeback():
+    violations = lint_file(FIXTURES / "bad_sim005_interproc.py")
+    assert [v.code for v in violations] == ["SIM005"]
+    assert "self._store()" in violations[0].message
+
+
+def test_sim005_quiet_when_helper_acquires():
+    source = (
+        "class Device:\n"
+        "    def _claim(self):\n"
+        "        return self.lock.request()\n"
+        "    def body(self):\n"
+        "        grant = self._claim()\n"
+        "        yield grant\n"
+        "        snapshot = self.count\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        self.count = snapshot + 1\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_sim006_unguarded_write_family():
+    violations = lint_file(FIXTURES / "bad_sim006_unguarded.py")
+    assert [v.code for v in violations] == ["SIM006"]
+    message = violations[0].message
+    assert "writer_a" in message and "writer_b" in message
+    assert "self.state" in message
+    # augmented assignments (self.ticks += 1) never form a family
+    assert "ticks" not in message
+
+
+def test_sim006_quiet_when_any_writer_acquires():
+    source = (
+        "class Device:\n"
+        "    def writer_a(self):\n"
+        "        req = self.lock.request()\n"
+        "        yield req\n"
+        "        self.state = 1\n"
+        "    def writer_b(self):\n"
+        "        yield self.sim.timeout(5.0)\n"
+        "        self.state = 2\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_sim006_quiet_for_yield_from_subgenerators():
+    # Sub-generators driven by one process body are not concurrent.
+    source = (
+        "class Device:\n"
+        "    def run(self):\n"
+        "        yield from self.phase_a()\n"
+        "        yield from self.phase_b()\n"
+        "    def phase_a(self):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        self.state = 1\n"
+        "    def phase_b(self):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        self.state = 2\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_sim007_same_instant_fanout():
+    violations = lint_file(FIXTURES / "bad_sim007_fanout.py")
+    assert [v.code for v in violations] == ["SIM007", "SIM007"]
+    assert "self.last_worker" in violations[0].message
+
+
+def test_sim007_quiet_when_loop_yields_between_spawns():
+    source = (
+        "class Pool:\n"
+        "    def worker(self, i):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        self.last = i\n"
+        "    def boss(self):\n"
+        "        for i in range(4):\n"
+        "            self.sim.process(self.worker(i))\n"
+        "            yield self.sim.timeout(1.0)\n"
+    )
+    assert lint_source(source) == []
+
+
 def test_clean_fixture_is_clean():
     assert codes_in(FIXTURES / "clean_process.py") == []
 
@@ -91,7 +173,8 @@ def test_syntax_errors_reported_not_raised():
 def test_lint_paths_walks_directories():
     violations = lint_paths([FIXTURES])
     assert {v.code for v in violations} == {
-        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005"}
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+        "SIM006", "SIM007"}
 
 
 def test_repo_source_tree_is_self_clean():
@@ -117,3 +200,44 @@ def test_cli_json_format(capsys):
     assert analysis_main.main([str(FIXTURES), "--format", "json"]) == 1
     out = capsys.readouterr().out
     assert '"SIM001"' in out
+
+
+def test_cli_github_format_emits_workflow_annotations(capsys):
+    path = str(FIXTURES / "bad_sim006_unguarded.py")
+    assert analysis_main.main([path, "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert f"::error file={path},line=10,title=SIM006::" in out
+    assert out.strip().endswith("1 violation(s)")
+
+
+def test_cli_sarif_format_is_valid_sarif(capsys):
+    import json as json_module
+
+    path = str(FIXTURES / "bad_sim007_fanout.py")
+    assert analysis_main.main([path, "--format", "sarif"]) == 1
+    document = json_module.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.analysis"
+    assert {rule["id"] for rule in run["tool"]["driver"]["rules"]} == {
+        "SIM007"}
+    result = run["results"][0]
+    assert result["ruleId"] == "SIM007"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == path
+    assert location["region"]["startLine"] == 16
+
+
+def test_cli_sarif_format_clean_tree_has_no_results(capsys):
+    src = pathlib.Path(__file__).parents[2] / "src" / "repro"
+    import json as json_module
+
+    assert analysis_main.main([str(src), "--format", "sarif"]) == 0
+    document = json_module.loads(capsys.readouterr().out)
+    assert document["runs"][0]["results"] == []
+
+
+def test_cli_shuffle_rejects_unknown_experiment(capsys):
+    assert analysis_main.main(["--shuffle", "not_a_figure"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment(s): not_a_figure" in err

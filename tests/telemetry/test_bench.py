@@ -8,11 +8,14 @@ from repro.telemetry.bench import (
     BenchMetric,
     BenchReport,
     bench_filename,
+    clear_attestations,
     collect_provenance,
     compare,
     git_sha,
     load_bench,
+    record_attestation,
     render_compare,
+    stamp_provenance,
     write_bench,
 )
 
@@ -63,6 +66,44 @@ def test_collect_provenance_fields(monkeypatch):
     assert provenance["seed"] == 1
     assert provenance["agents"] == 8
     assert provenance["timestamp"].endswith("Z")
+
+
+# ----------------------------------------------------------------------
+# Attestations
+# ----------------------------------------------------------------------
+def test_recorded_attestations_flow_into_provenance():
+    clear_attestations()
+    try:
+        record_attestation("tiebreak_independent", {"runs": 5})
+        provenance = collect_provenance()
+        assert provenance["attestations"] == {
+            "tiebreak_independent": {"runs": 5}}
+    finally:
+        clear_attestations()
+    assert "attestations" not in collect_provenance()
+
+
+def test_record_attestation_rejects_empty_key():
+    with pytest.raises(ValueError, match="non-empty"):
+        record_attestation("", True)
+
+
+def test_stamp_provenance_rewrites_artifact_in_place(tmp_path):
+    report = _report(m=BenchMetric(value=2.0, better="lower", unit="ns"))
+    path = tmp_path / bench_filename("abc1234")
+    write_bench(report, path)
+    stamp_provenance(path, "tiebreak_independent", {"independent": True})
+    stamped = load_bench(path)
+    assert stamped.provenance["attestations"][
+        "tiebreak_independent"] == {"independent": True}
+    # Everything else survives the rewrite untouched.
+    assert stamped.metrics["m"].value == 2.0
+    assert stamped.provenance["git_sha"] == "abc1234"
+    # Stamping twice updates rather than duplicating.
+    stamp_provenance(path, "other", 1)
+    twice = load_bench(path)
+    assert set(twice.provenance["attestations"]) == {
+        "tiebreak_independent", "other"}
 
 
 # ----------------------------------------------------------------------
