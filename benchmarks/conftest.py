@@ -20,7 +20,9 @@ import pathlib
 import pytest
 
 from repro.experiments.runner import ExperimentConfig, run_matrix
+from repro.sim.stats import DEFAULT_SKETCH_LAYOUT
 from repro.systems import SYSTEM_NAMES
+from repro.telemetry.timeseries import DEFAULT_WINDOW_NS
 from repro.telemetry.bench import (
     BenchMetric,
     BenchReport,
@@ -41,9 +43,16 @@ _BENCH_METRICS = {}
 
 
 def _provenance():
-    return collect_provenance(scale=BENCH_CONFIG.scale,
-                              seed=BENCH_CONFIG.seed,
-                              agents=BENCH_CONFIG.agents)
+    provenance = collect_provenance(scale=BENCH_CONFIG.scale,
+                                    seed=BENCH_CONFIG.seed,
+                                    agents=BENCH_CONFIG.agents)
+    # Stamp the measurement configuration: percentile metrics from a
+    # different sketch layout (or series from a different sampling
+    # window) are not comparable, and ``telemetry compare`` refuses to
+    # diff reports whose stamps disagree.
+    provenance["sketch"] = DEFAULT_SKETCH_LAYOUT.spec()
+    provenance["timeseries_window_ns"] = DEFAULT_WINDOW_NS
+    return provenance
 
 
 @pytest.fixture(scope="session")

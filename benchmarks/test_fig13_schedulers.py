@@ -18,6 +18,15 @@ def test_fig13_schedulers(benchmark, bench_config, results_dir,
                  sum(r["final"] for r in result["rows"])
                  / len(result["rows"]),
                  better="higher", unit="x")
+    # Tail latency of the final policy (sketch merged across the
+    # suite); the provenance block stamps the sketch layout so compare
+    # never diffs percentiles from mismatched bucketing.
+    bench_record("fig13.final_p50_ns", result["latency_p50"],
+                 better="lower", unit="ns")
+    bench_record("fig13.final_p99_ns", result["latency_p99"],
+                 better="lower", unit="ns")
+    bench_record("fig13.final_p999_ns", result["latency_p999"],
+                 better="lower", unit="ns")
     # Paper: interleaving improves bandwidth by as high as 54% (trmm).
     assert result["max_interleaving_gain"] >= 0.30
     # The biggest interleaving winner is a read-leaning workload —

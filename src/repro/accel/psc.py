@@ -13,6 +13,7 @@ import typing
 
 from repro.sim import Counter, Simulator, TimeSeries
 from repro.telemetry.metrics import current_metrics
+from repro.telemetry.timeseries import Sampler, TimeWeightedTracker
 
 #: State-transition latencies, ns (clock/power gating sequencing).
 SLEEP_TRANSITION_NS = 500.0
@@ -45,9 +46,16 @@ class PowerSleepController:
             {state: 0.0 for state in PeState} for _ in range(pe_count)
         ]
         self.transitions = 0
+        self._awake_tracker: TimeWeightedTracker | None = None
         self._metrics = current_metrics()
         if self._metrics.enabled:
             prefix = self._metrics.component_prefix("psc")
+            sampler = sim.sampler
+            if isinstance(sampler, Sampler):
+                # Windowed power envelope: time-weighted count of PEs
+                # out of sleep (idle or active) per sampling window.
+                self._awake_tracker = sampler.track(
+                    f"{prefix}.window.awake_pes")
             # Numeric state timeline per PE (0=sleep, 1=idle, 2=active):
             # the per-PE run/sleep timeline the profile dashboard shows.
             self._state_series: typing.List[TimeSeries] | None = [
@@ -76,6 +84,12 @@ class PowerSleepController:
             self.transitions += 1
             if self._transition_counter is not None:
                 self._transition_counter.add()
+            if self._awake_tracker is not None:
+                was_awake = self._state[pe_id] is not PeState.SLEEP
+                is_awake = state is not PeState.SLEEP
+                if is_awake != was_awake:
+                    self._awake_tracker.adjust(
+                        self.sim.now, 1.0 if is_awake else -1.0)
             if self._state_series is not None:
                 self._state_series[pe_id].record(
                     self.sim.now, float(_STATE_LEVEL[state]))

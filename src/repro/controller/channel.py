@@ -38,8 +38,9 @@ from repro.faults.plan import FaultState
 from repro.pram.address import AddressMap, PramAddress
 from repro.pram.module import PramModule
 from repro.pram.overlay_window import CMD_RETRY_PROGRAM, CMD_SELECTIVE_ERASE
-from repro.sim import Counter, Histogram, Resource, Simulator
+from repro.sim import Counter, Histogram, LatencySketch, Resource, Simulator
 from repro.telemetry.metrics import current_metrics
+from repro.telemetry.timeseries import Sampler, TimeWeightedTracker
 
 #: One hinted pre-reset target: (row address, chunk bytes, hint time).
 _HintChunk = typing.Tuple[PramAddress, int, float]
@@ -126,6 +127,11 @@ class ChannelController:
         # Statistics
         self.read_latency = Histogram(f"ch{channel_id}.read_latency")
         self.write_latency = Histogram(f"ch{channel_id}.write_latency")
+        # Per-chunk tail-latency sketches stay always-on (integer
+        # bucket math only) so benchmark runs without a registry still
+        # have channel-level percentiles.
+        self.read_sketch = LatencySketch(f"ch{channel_id}.sketch.read")
+        self.write_sketch = LatencySketch(f"ch{channel_id}.sketch.write")
         self.bus_busy_ns = 0.0
         self.chunks_read = 0
         self.chunks_written = 0
@@ -150,6 +156,10 @@ class ChannelController:
                            self.read_latency)
             metrics.attach(f"{self._metrics_prefix}.write_latency",
                            self.write_latency)
+            metrics.attach(f"{self._metrics_prefix}.sketch.read",
+                           self.read_sketch)
+            metrics.attach(f"{self._metrics_prefix}.sketch.write",
+                           self.write_sketch)
             # One shared interleave counter across channels/subsystems.
             self._overlap_counter: Counter | None = (
                 metrics.counter("sched.interleave.overlap_ns"))
@@ -173,6 +183,14 @@ class ChannelController:
             self._bus_counter = None
             self._pairs_series = None
         self._pairs_in_use = 0
+        # Windowed RAB/RDB pair occupancy (time-weighted mean per
+        # sampling window) — present only under an active sampler.
+        self._pairs_tracker: TimeWeightedTracker | None = None
+        if metrics.enabled:
+            sampler = sim.sampler
+            if isinstance(sampler, Sampler):
+                self._pairs_tracker = sampler.track(
+                    f"{self._metrics_prefix}.window.pairs_in_use")
         self._telemetry_on = metrics.enabled or sim.tracer.enabled
         self._bus_track = f"ch{channel_id}.bus"
 
@@ -256,6 +274,7 @@ class ChannelController:
         if chunk.is_write:
             yield from self._write_chunk(chunk)
             self.write_latency.add(self.sim.now - start)
+            self.write_sketch.add(self.sim.now - start)
             self.chunks_written += 1
             if tracer.enabled:
                 tracer.emit("write_chunk",
@@ -266,6 +285,7 @@ class ChannelController:
             return (chunk.offset, b"")
         data = yield from self._read_chunk(chunk)
         self.read_latency.add(self.sim.now - start)
+        self.read_sketch.add(self.sim.now - start)
         self.chunks_read += 1
         if tracer.enabled:
             tracer.emit("read_chunk", f"ch{self.channel_id}.inflight",
@@ -291,6 +311,8 @@ class ChannelController:
             self._pairs_in_use += 1
             self._pairs_series.record(self.sim.now,
                                       float(self._pairs_in_use))
+            if self._pairs_tracker is not None:
+                self._pairs_tracker.adjust(self.sim.now, 1.0)
         busy = self._busy_pairs[chunk.address.module]
         # No yield between the grant above and the add below, so the
         # probe and the reservation are atomic under cooperative
@@ -309,6 +331,8 @@ class ChannelController:
                 self._pairs_in_use -= 1
                 self._pairs_series.record(self.sim.now,
                                           float(self._pairs_in_use))
+                if self._pairs_tracker is not None:
+                    self._pairs_tracker.adjust(self.sim.now, -1.0)
         return data
 
     def _issue_read_phases(self, chunk: ChunkPlan, module: PramModule,

@@ -23,7 +23,9 @@ from repro.pram.constants import PramGeometry, PramTimingParams
 from repro.pram.errors import PramError
 from repro.pram.module import PramModule
 from repro.sim import Simulator
+from repro.sim.stats import LatencySketch
 from repro.telemetry.metrics import current_metrics
+from repro.telemetry.timeseries import Sampler, TimeWeightedTracker
 
 
 class PramSubsystem:
@@ -80,6 +82,15 @@ class PramSubsystem:
         self.requests_degraded = 0
         self.requests_failed = 0
         self._inflight = 0
+        # Per-op tail-latency sketches are **always on**: one frexp +
+        # dict update per request, and they are what lets the fig13
+        # benchmarks (which run without a metrics registry) report
+        # p50/p99/p999 alongside bandwidth.
+        self.latency_sketches = {
+            Op.READ.value: LatencySketch("subsys.sketch.read"),
+            Op.WRITE.value: LatencySketch("subsys.sketch.write"),
+        }
+        self._inflight_tracker: TimeWeightedTracker | None = None
         metrics = current_metrics()
         self._metrics = metrics
         self._metrics_on = metrics.enabled
@@ -89,6 +100,17 @@ class PramSubsystem:
             self.queue_depth = metrics.series(f"{prefix}.queue_depth")
             self.request_latency = metrics.histogram(
                 f"{prefix}.request_latency_ns")
+            for op, sketch in self.latency_sketches.items():
+                metrics.attach(f"{prefix}.sketch.{op}", sketch)
+            sampler = sim.sampler
+            if isinstance(sampler, Sampler):
+                # Windowed time-weighted occupancy: in-flight requests
+                # and per-channel write-hint backlog per sample window.
+                self._inflight_tracker = sampler.track(
+                    f"{prefix}.window.inflight")
+                for ch, store in enumerate(self.hint_stores):
+                    sampler.watch_gauge(
+                        f"{prefix}.window.hints_ch{ch}", store.depth)
 
     # ------------------------------------------------------------------
     # MCU-facing API
@@ -103,6 +125,8 @@ class PramSubsystem:
         if self._metrics_on:
             self._inflight += 1
             self.queue_depth.record(self.sim.now, float(self._inflight))
+            if self._inflight_tracker is not None:
+                self._inflight_tracker.adjust(self.sim.now, 1.0)
         if self.firmware is not None:
             yield self.sim.process(self.firmware.admit())
         by_channel = self.planner.chunks_by_channel(request)
@@ -124,9 +148,14 @@ class PramSubsystem:
         if failure is not None:
             request.degrade(RequestStatus.FAILED,
                             f"{type(failure).__name__}: {failure}")
+        sketch = self.latency_sketches.get(request.op.value)
+        if sketch is not None:
+            sketch.add(request.latency)
         if self._metrics_on:
             self._inflight -= 1
             self.queue_depth.record(self.sim.now, float(self._inflight))
+            if self._inflight_tracker is not None:
+                self._inflight_tracker.adjust(self.sim.now, -1.0)
             self.request_latency.add(request.latency)
         status = request.status
         if status is not RequestStatus.OK:
@@ -209,6 +238,18 @@ class PramSubsystem:
         pending = [self.sim.process(channel.prefetch_hints())
                    for channel in self.channels]
         yield self.sim.all_of(pending)
+
+    def merged_latency_sketch(self) -> LatencySketch:
+        """All request latencies (reads + writes) as one sketch.
+
+        A fresh fold of the per-op sketches, so the result carries the
+        same layout and exact bucket counts — percentiles over the
+        merged population, for reports that want one tail number.
+        """
+        merged = LatencySketch("subsys.latency")
+        for sketch in self.latency_sketches.values():
+            merged.merge(sketch)
+        return merged
 
     # ------------------------------------------------------------------
     # Functional access (experiment setup/verification, zero time)

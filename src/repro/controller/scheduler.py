@@ -102,3 +102,7 @@ class WriteHintStore:
 
     def __len__(self) -> int:
         return len(self._pending)
+
+    def depth(self) -> float:
+        """Current backlog, as a float for gauge/window sampling."""
+        return float(len(self._pending))

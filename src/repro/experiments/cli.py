@@ -25,6 +25,9 @@ ambient tracer/metrics registry around the chosen experiments and
 export the capture afterwards: a Perfetto/Chrome JSON trace (load it
 at https://ui.perfetto.dev), a JSON-lines span log consumable by the
 ``repro.analysis`` conformance checker, and a metrics summary table.
+``--timeseries OUT [--window NS]`` additionally samples queue depths
+and occupancies into fixed windows of simulated time and exports them
+(view with ``python -m repro.telemetry watch OUT``).
 """
 
 from __future__ import annotations
@@ -35,7 +38,14 @@ import typing
 
 from repro.controller.request import reset_request_ids
 from repro.experiments import parallel, runner
-from repro.telemetry import Telemetry, build_profile, render_html, render_text
+from repro.telemetry import (
+    DEFAULT_WINDOW_NS,
+    SamplingConfig,
+    Telemetry,
+    build_profile,
+    render_html,
+    render_text,
+)
 from repro.experiments import (
     fig01_motivation,
     fig07_firmware,
@@ -135,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--metrics", action="store_true",
                             help="print the metrics summary table after "
                                  "the reports")
+    run_parser.add_argument("--timeseries", metavar="OUT", default=None,
+                            help="sample windowed time series during the "
+                                 "run and export them to OUT (.json, or "
+                                 ".csv for long-format rows); view with "
+                                 "'python -m repro.telemetry watch OUT'")
+    run_parser.add_argument("--window", type=float, metavar="NS",
+                            default=DEFAULT_WINDOW_NS,
+                            help="sampling window width in simulated ns "
+                                 f"(default {DEFAULT_WINDOW_NS:g})")
     run_parser.add_argument("--profile", action="store_true",
                             help="print a latency-attribution and "
                                  "utilization profile per experiment")
@@ -233,13 +252,20 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         except ValueError as exc:
             print(f"invalid --faults plan: {exc}", file=sys.stderr)
             return 2
+    if args.timeseries is not None and not args.window > 0:
+        print(f"--window must be > 0, got {args.window}", file=sys.stderr)
+        return 2
     # --metrics alone keeps the null-tracer fast path (record_spans
     # False leaves the ambient tracer null); any span consumer turns
-    # recording on.
+    # recording on.  --timeseries needs the metrics registry (samples
+    # land in registry series), so it implies telemetry too.
     want_spans = bool(args.trace or args.spans or args.profile
                       or args.report)
-    telemetry = (Telemetry(record_spans=want_spans)
-                 if want_spans or args.metrics else None)
+    sampling = (SamplingConfig(window_ns=args.window)
+                if args.timeseries is not None else None)
+    telemetry = (Telemetry(record_spans=want_spans, timeseries=sampling)
+                 if want_spans or args.metrics or sampling is not None
+                 else None)
     profiles = []
     reports: typing.Dict[str, str] = {}
     if args.jobs != 1 or args.cache is not None:
@@ -286,13 +312,19 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         if args.spans:
             telemetry.write_spanlog(args.spans)
             print(f"span log written to {args.spans}")
+        if args.timeseries:
+            telemetry.write_timeseries(args.timeseries)
+            print(f"time series written to {args.timeseries}")
         if args.profile:
             for profile in profiles:
                 print(render_text(profile))
                 print()
         if args.report:
+            timeseries_doc = (telemetry.timeseries_document()
+                              if sampling is not None else None)
             with open(args.report, "w", encoding="utf-8") as handle:
-                handle.write(render_html(profiles))
+                handle.write(render_html(profiles,
+                                         timeseries=timeseries_doc))
             print(f"profile dashboard written to {args.report}")
         if args.metrics:
             print("metrics summary")

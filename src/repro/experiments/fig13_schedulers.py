@@ -11,6 +11,7 @@ it directly against the subsystem — no compute masking.
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.accel.isa import LoadOp, StoreOp
@@ -20,7 +21,7 @@ from repro.experiments.runner import (
     format_table,
     geometric_mean,
 )
-from repro.sim import Simulator
+from repro.sim import LatencySketch, Simulator
 from repro.systems.base import input_pattern
 from repro.workloads import workload
 from repro.workloads.trace import BLOCK_BYTES, TraceBundle
@@ -29,9 +30,17 @@ POLICIES = (SchedulerPolicy.BARE_METAL, SchedulerPolicy.INTERLEAVING,
             SchedulerPolicy.SELECTIVE_ERASE, SchedulerPolicy.FINAL)
 
 
-def subsystem_bandwidth(bundle: TraceBundle,
-                        policy: SchedulerPolicy) -> float:
-    """Replay ``bundle``'s request streams; returns MB/s."""
+@dataclasses.dataclass
+class SubsystemRun:
+    """One policy replay: bandwidth plus the request-latency sketch."""
+
+    mbps: float
+    sketch: LatencySketch
+
+
+def subsystem_run(bundle: TraceBundle,
+                  policy: SchedulerPolicy) -> SubsystemRun:
+    """Replay ``bundle``'s request streams under ``policy``."""
     sim = Simulator()
     subsystem = PramSubsystem(sim, policy=policy)
     address, size = bundle.input_region
@@ -72,25 +81,42 @@ def subsystem_bandwidth(bundle: TraceBundle,
     sim.run()
     if not done.ok:
         raise typing.cast(BaseException, done.value)
-    return total_bytes / sim.now * 1e3  # bytes/ns -> MB/s
+    return SubsystemRun(
+        mbps=total_bytes / sim.now * 1e3,  # bytes/ns -> MB/s
+        sketch=subsystem.merged_latency_sketch(),
+    )
+
+
+def subsystem_bandwidth(bundle: TraceBundle,
+                        policy: SchedulerPolicy) -> float:
+    """Replay ``bundle``'s request streams; returns MB/s."""
+    return subsystem_run(bundle, policy).mbps
 
 
 def run(config: ExperimentConfig = ExperimentConfig()) -> typing.Dict:
     """Returns normalized bandwidth per (workload, policy)."""
     rows = []
+    # One sketch per policy, merged across workloads — the tail-latency
+    # view behind the bandwidth bars (merge order is irrelevant: the
+    # bucket-wise fold is associative and commutative).
+    merged = {policy.value: LatencySketch(f"fig13.{policy.value}")
+              for policy in POLICIES}
     for name in config.workloads:
         bundle = config.bundle(name)
-        bandwidth = {
-            policy.value: subsystem_bandwidth(bundle, policy)
+        runs = {
+            policy.value: subsystem_run(bundle, policy)
             for policy in POLICIES
         }
-        baseline = bandwidth[SchedulerPolicy.BARE_METAL.value]
+        for policy in POLICIES:
+            merged[policy.value].merge(runs[policy.value].sketch)
+        baseline = runs[SchedulerPolicy.BARE_METAL.value].mbps
         rows.append({
             "workload": name,
             "write_ratio": workload(name).write_ratio,
-            **{policy.value: bandwidth[policy.value] / baseline
+            **{policy.value: runs[policy.value].mbps / baseline
                for policy in POLICIES},
         })
+    final = merged[SchedulerPolicy.FINAL.value]
     return {
         "rows": rows,
         "mean_final_gain": geometric_mean(
@@ -100,6 +126,9 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> typing.Dict:
             key="selective-erasing") - 1.0,
         "max_interleaving_gain": max(
             row["interleaving"] for row in rows) - 1.0,
+        "latency_p50": final.percentile(0.50),
+        "latency_p99": final.percentile(0.99),
+        "latency_p999": final.percentile(0.999),
     }
 
 
@@ -118,6 +147,10 @@ def report(result: typing.Dict) -> str:
         f"{result['mean_selective_gain']:.1%} (paper: ~57% on "
         "write-bound workloads)\n"
         f"mean final gain: {result['mean_final_gain']:.1%} "
-        "(paper: 77% on average)"
+        "(paper: 77% on average)\n"
+        f"final-policy request latency: "
+        f"p50 {result['latency_p50']:.1f} ns, "
+        f"p99 {result['latency_p99']:.1f} ns, "
+        f"p999 {result['latency_p999']:.1f} ns"
     )
     return f"Figure 13: subsystem schedulers\n{table}\n{summary}"

@@ -42,6 +42,7 @@ import typing
 
 from repro.controller.request import reset_request_ids
 from repro.experiments import runner
+from repro.sim.sampling import current_sampling, use_sampling
 from repro.systems import build_system
 from repro.systems.base import ExecutionResult
 from repro.telemetry.bench import collect_provenance
@@ -58,6 +59,7 @@ from repro.telemetry.metrics import (
     current_metrics,
     use_metrics,
 )
+from repro.telemetry.timeseries import SamplingConfig
 from repro.telemetry.tracer import (
     RecordingTracer,
     current_tracer,
@@ -65,7 +67,15 @@ from repro.telemetry.tracer import (
 )
 
 #: Bumped whenever the cached payload layout changes; part of every key.
-CACHE_SCHEMA = 1
+#: 2: capture tuple gained the time-series sampling spec.
+CACHE_SCHEMA = 2
+
+#: What telemetry a cell must capture: ``(metrics, spans, sampling)``
+#: where sampling is ``None`` or ``(window_ns, retention)``.  Part of
+#: the cache key — a sampled rerun never reuses an unsampled entry.
+CaptureSpec = typing.Tuple[
+    bool, bool,
+    typing.Optional[typing.Tuple[float, typing.Optional[int]]]]
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -128,14 +138,15 @@ def _config_payload(config: runner.ExperimentConfig
 
 
 def cell_key(experiment: str, config: runner.ExperimentConfig,
-             capture: typing.Tuple[bool, bool],
+             capture: CaptureSpec,
              tree_digest: typing.Union[str, None] = None) -> str:
     """Content-addressed key for one experiment cell.
 
     ``experiment`` is the cell id (``"matrix/<workload>/<system>"`` or
     a figure id); ``capture`` records whether metrics/span fragments
-    were requested, so a telemetry-bearing rerun never reuses a
-    fragment-less entry.
+    were requested plus the time-series sampling spec, so a
+    telemetry-bearing (or sampled) rerun never reuses an entry captured
+    under different instrumentation.
     """
     payload = {
         "schema": CACHE_SCHEMA,
@@ -200,11 +211,11 @@ class CellOutcome:
 
 
 @contextlib.contextmanager
-def _fresh_telemetry(capture: typing.Tuple[bool, bool]) -> typing.Iterator[
+def _fresh_telemetry(capture: CaptureSpec) -> typing.Iterator[
         typing.Tuple[typing.Union[MetricsRegistry, None],
                      typing.Union[RecordingTracer, None]]]:
     """Fresh ambient registry/tracer for one cell (as requested)."""
-    want_metrics, want_spans = capture
+    want_metrics, want_spans, sampling = capture
     registry = MetricsRegistry() if want_metrics else None
     tracer = RecordingTracer() if want_spans else None
     with contextlib.ExitStack() as stack:
@@ -212,6 +223,10 @@ def _fresh_telemetry(capture: typing.Tuple[bool, bool]) -> typing.Iterator[
             stack.enter_context(use_tracer(tracer))
         if registry is not None:
             stack.enter_context(use_metrics(registry))
+            if sampling is not None:
+                # Same window/retention the parent sampled with, so the
+                # worker's windowed series merge byte-identically.
+                stack.enter_context(use_sampling(SamplingConfig(*sampling)))
         yield registry, tracer
 
 
@@ -227,7 +242,7 @@ def _finish_cell(payload: typing.Any,
 
 def _run_matrix_cell(config: runner.ExperimentConfig, workload: str,
                      system: str,
-                     capture: typing.Tuple[bool, bool]) -> CellOutcome:
+                     capture: CaptureSpec) -> CellOutcome:
     """Worker: one (workload, system) cell under fresh telemetry."""
     with _fresh_telemetry(capture) as (registry, tracer):
         reset_request_ids()
@@ -237,7 +252,7 @@ def _run_matrix_cell(config: runner.ExperimentConfig, workload: str,
 
 
 def _run_experiment_cell(name: str, config: runner.ExperimentConfig,
-                         capture: typing.Tuple[bool, bool]) -> CellOutcome:
+                         capture: CaptureSpec) -> CellOutcome:
     """Worker: one whole experiment under fresh telemetry.
 
     The experiment registry lives in the CLI module; importing it here
@@ -298,7 +313,7 @@ def _execute_cells(
         jobs: int,
         cache: typing.Union[ResultCache, None],
         keys: typing.Union[typing.Sequence[str], None],
-        capture: typing.Tuple[bool, bool],
+        capture: CaptureSpec,
 ) -> typing.Tuple[typing.List[CellOutcome], RunStats]:
     """Run ``cells`` (id, worker-args) and return outcomes **in cell
     order** regardless of completion order; cache when enabled.
@@ -355,9 +370,13 @@ def merge_outcome(outcome: CellOutcome,
             merge_tracer(tracer, outcome.tracer)
 
 
-def _ambient_capture() -> typing.Tuple[bool, bool]:
+def _ambient_capture() -> CaptureSpec:
+    provider = current_sampling()
+    sampling = (provider.spec()
+                if isinstance(provider, SamplingConfig) else None)
     return (current_metrics().enabled,
-            isinstance(current_tracer(), RecordingTracer))
+            isinstance(current_tracer(), RecordingTracer),
+            sampling)
 
 
 def run_matrix_parallel(

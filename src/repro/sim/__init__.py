@@ -19,6 +19,7 @@ from repro.sim.engine import Simulator
 from repro.sim.event import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resource import Channel, Resource, Store
+from repro.sim.sampling import SamplerHook, current_sampling, use_sampling
 from repro.sim.sanitizer import (
     KernelSanitizer,
     current_sanitizer,
@@ -26,7 +27,15 @@ from repro.sim.sanitizer import (
     use_sanitizer,
     use_tiebreak,
 )
-from repro.sim.stats import Breakdown, Counter, Histogram, TimeSeries
+from repro.sim.stats import (
+    QUANTILE_TARGETS,
+    Breakdown,
+    Counter,
+    Histogram,
+    LatencySketch,
+    SketchLayout,
+    TimeSeries,
+)
 
 __all__ = [
     "AllOf",
@@ -38,14 +47,20 @@ __all__ = [
     "Histogram",
     "Interrupt",
     "KernelSanitizer",
+    "LatencySketch",
     "Process",
+    "QUANTILE_TARGETS",
     "Resource",
+    "SamplerHook",
     "Simulator",
+    "SketchLayout",
     "Store",
     "TimeSeries",
     "Timeout",
+    "current_sampling",
     "current_sanitizer",
     "current_tiebreak_seed",
+    "use_sampling",
     "use_sanitizer",
     "use_tiebreak",
 ]

@@ -26,6 +26,7 @@ import typing
 
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.sampling import SamplerHook, current_sampling
 from repro.sim.sanitizer import (
     KernelSanitizer,
     current_sanitizer,
@@ -64,7 +65,8 @@ class Simulator:
 
     def __init__(self, tracer: Tracer | None = None,
                  sanitizer: KernelSanitizer | None = None,
-                 tiebreak_seed: int | None = None) -> None:
+                 tiebreak_seed: int | None = None,
+                 sampler: SamplerHook | None = None) -> None:
         self._now = 0.0
         self._heap: typing.List[HeapEntry] = []
         self._counter = itertools.count()
@@ -88,6 +90,17 @@ class Simulator:
                 else current_tiebreak_seed())
         self._tiebreak_rng = (random.Random(seed) if seed is not None
                               else None)
+        # Windowed time-series sampling (repro.telemetry.timeseries).
+        # Explicit hook wins; otherwise the ambient provider (if any)
+        # mints one per simulator.  Sampled runs drain through the
+        # per-event branch of run() — the batched fast drain stays
+        # untouched, so a disabled sampler costs nothing.
+        if sampler is None:
+            provider = current_sampling()
+            if provider is not None:
+                sampler = provider.create_sampler()
+        self.sampler: SamplerHook | None = sampler
+        self._sampling = sampler is not None
         # Explicit tracer and the ambient one (use_tracer) both observe
         # this kernel; with neither active this collapses to the null
         # tracer and step() pays one attribute load.  Binding happens at
@@ -226,12 +239,19 @@ class Simulator:
             raise ValueError(
                 f"cannot run until {until} ns: clock already at {self._now} ns"
             )
+        sampler = self.sampler
         if self._tiebreak_rng is not None:
             self._run_shuffled(until)
-        elif self._tracing or self._sanitizing:
+        elif self._tracing or self._sanitizing or self._sampling:
             while self._heap:
-                if until is not None and self._heap[0][0] > until:
+                when = self._heap[0][0]
+                if until is not None and when > until:
                     break
+                # Windows close *before* the events at `when` run, so a
+                # sample written at exactly a boundary instant belongs
+                # to the window that starts there.
+                if sampler is not None:
+                    sampler.advance(when)
                 self.step()
         else:
             # Untraced fast drain: inline step() minus the tracer
@@ -262,6 +282,10 @@ class Simulator:
                     for callback in callbacks:
                         callback(event)
         if until is not None:
+            # Close windows up to the stop time so a run that idles out
+            # to `until` still materializes its trailing windows.
+            if sampler is not None and until > self._now:
+                sampler.advance(until)
             self._now = max(self._now, until)
 
     def _run_shuffled(self, until: float | None) -> None:
@@ -281,11 +305,14 @@ class Simulator:
         heap = self._heap
         tracer = self.tracer if self._tracing else None
         sanitizer = self._sanitizer
+        sampler = self.sampler
         batch: typing.List[HeapEntry] = []
         while heap:
             when = heap[0][0]
             if until is not None and when > until:
                 break
+            if sampler is not None:
+                sampler.advance(when)
             self._now = when
             del batch[:]
             while heap and heap[0][0] == when:

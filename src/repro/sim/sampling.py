@@ -1,0 +1,74 @@
+"""Ambient sampling hook for the simulation engine.
+
+This module is the engine-side half of windowed time-series telemetry
+(the registry-facing half lives in :mod:`repro.telemetry.timeseries`).
+It deliberately imports **nothing from repro** — like
+:mod:`repro.sim.sanitizer`, it must be importable from the engine
+without creating a cycle with the telemetry layer.
+
+The contract mirrors the tracer/metrics ambients:
+
+* a *provider* (any object with ``create_sampler()``) is installed with
+  :func:`use_sampling`; :func:`current_sampling` reads it back.
+* each :class:`~repro.sim.engine.Simulator` asks the provider for a
+  fresh :class:`SamplerHook` at construction.  A provider may return
+  ``None`` (e.g. when metrics are disabled), in which case the engine
+  keeps its untouched zero-overhead fast drain.
+* the engine calls :meth:`SamplerHook.advance` with each event
+  timestamp *before* dispatching the events at that instant, and once
+  more with the final ``until`` time, so the hook can close every
+  simulated-time window boundary it crossed.
+"""
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import typing
+
+
+class SamplerHook:
+    """Duck-type base for engine-driven samplers.
+
+    Subclasses override :meth:`advance`; the base implementation is a
+    no-op so a bare hook is harmless.
+    """
+
+    def advance(self, now: float) -> None:
+        """Simulated time has reached ``now``; close crossed windows.
+
+        Called before the events at ``now`` run, so samples written at
+        exactly a window boundary land in the *next* window.
+        """
+
+
+class SamplingProvider(typing.Protocol):
+    """Anything that can mint per-simulator sampler hooks."""
+
+    def create_sampler(self) -> typing.Optional[SamplerHook]:
+        """Return a fresh hook for one simulator, or ``None`` to opt out."""
+        ...
+
+
+_ambient_sampling: "contextvars.ContextVar[typing.Optional[SamplingProvider]]" = (
+    contextvars.ContextVar("repro_sampling", default=None))
+
+
+def current_sampling() -> typing.Optional[SamplingProvider]:
+    """The ambient sampling provider, or ``None`` when sampling is off."""
+    return _ambient_sampling.get()
+
+
+@contextlib.contextmanager
+def use_sampling(
+    provider: typing.Optional[SamplingProvider],
+) -> typing.Iterator[typing.Optional[SamplingProvider]]:
+    """Install ``provider`` as the ambient sampling provider.
+
+    Simulators constructed inside the ``with`` block ask it for a
+    sampler hook; ``None`` restores the disabled default.
+    """
+    token = _ambient_sampling.set(provider)
+    try:
+        yield provider
+    finally:
+        _ambient_sampling.reset(token)

@@ -48,6 +48,20 @@ from repro.telemetry.export import (  # noqa: E402
     write_spanlog,
 )
 
+from repro.telemetry.timeseries import (  # noqa: E402
+    DEFAULT_WINDOW_NS,
+    TIMESERIES_SCHEMA,
+    Sampler,
+    SamplingConfig,
+    TimeWeightedTracker,
+    export_document,
+    load_timeseries,
+    render_watch,
+    sparkline,
+    validate_timeseries,
+    write_timeseries,
+)
+
 from repro.telemetry.session import Telemetry  # noqa: E402
 
 from repro.telemetry.profile import (  # noqa: E402
@@ -104,9 +118,11 @@ from repro.telemetry.dashboard import (  # noqa: E402
 )
 
 __all__ = [
+    "DEFAULT_WINDOW_NS",
     "NULL_METRICS",
     "NULL_TRACER",
     "SEGMENTS",
+    "TIMESERIES_SCHEMA",
     "AttributionSummary",
     "BenchMetric",
     "BenchReport",
@@ -121,8 +137,11 @@ __all__ = [
     "MultiTracer",
     "RecordingTracer",
     "RequestAttribution",
+    "Sampler",
+    "SamplingConfig",
     "Span",
     "Telemetry",
+    "TimeWeightedTracker",
     "TracerFragment",
     "TrackUtilization",
     "Tracer",
@@ -138,9 +157,11 @@ __all__ = [
     "compare",
     "current_metrics",
     "current_tracer",
+    "export_document",
     "littles_law",
     "load_bench",
     "load_spanlog",
+    "load_timeseries",
     "merge_metrics",
     "merge_reports",
     "merge_tracer",
@@ -150,9 +171,11 @@ __all__ = [
     "render_compare",
     "render_html",
     "render_text",
+    "render_watch",
     "request_depth_series",
     "spanlog_lines",
     "spanlog_spans",
+    "sparkline",
     "stamp_provenance",
     "summarize",
     "track_gauges",
@@ -160,8 +183,10 @@ __all__ = [
     "use_tracer",
     "utilization_table",
     "validate_perfetto",
+    "validate_timeseries",
     "verify_attribution",
     "write_bench",
     "write_perfetto",
     "write_spanlog",
+    "write_timeseries",
 ]

@@ -13,12 +13,18 @@ this as a **blocking** gate against ``benchmarks/BENCH_baseline.json``.
 ``python -m repro.telemetry merge OUT.json FRAGMENT.json [...]`` folds
 per-shard BENCH fragments (parallel sweeps, split benchmark jobs) into
 one report; conflicting duplicate metrics are an error.
+
+``python -m repro.telemetry watch RESULTS.json`` renders an exported
+time-series document (``--timeseries`` on the experiments CLI) as
+terminal sparklines plus a latency-sketch quantile table; invalid
+documents exit 1.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import typing
 
@@ -27,10 +33,16 @@ from repro.telemetry.bench import (
     compare as compare_bench,
     load_bench,
     merge_reports,
+    provenance_conflicts,
     render_compare,
     write_bench,
 )
 from repro.telemetry.export import load_spanlog, validate_perfetto
+from repro.telemetry.timeseries import (
+    load_timeseries,
+    render_watch,
+    validate_timeseries,
+)
 
 _SPANLOG_TYPES = ("span", "instant", "command")
 
@@ -79,7 +91,35 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("output", help="merged BENCH_*.json to write")
     merge.add_argument("fragments", nargs="+",
                        help="fragment BENCH_*.json files")
+    watch = sub.add_parser(
+        "watch",
+        help="render an exported time-series document in the terminal")
+    watch.add_argument("results", help="time-series JSON from --timeseries")
+    watch.add_argument("--width", type=int, default=60,
+                       help="sparkline width in cells (default 60)")
+    watch.add_argument("--heat", action="store_true",
+                       help="density shading instead of sparklines")
     return parser
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    try:
+        document = load_timeseries(args.results)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        print(f"unreadable time-series document: {error}", file=sys.stderr)
+        return 1
+    problems = validate_timeseries(document)
+    if problems:
+        for problem in problems:
+            print(f"{args.results}: {problem}", file=sys.stderr)
+        return 1
+    try:
+        print(render_watch(document, width=args.width, heat=args.heat))
+    except BrokenPipeError:
+        # Piped into `head` and the reader closed early; exit quietly
+        # (redirect stdout so the interpreter's exit flush stays calm).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
 
 
 def _run_merge(args: argparse.Namespace) -> int:
@@ -102,6 +142,13 @@ def _run_compare(args: argparse.Namespace) -> int:
     except (OSError, json.JSONDecodeError, ValueError) as error:
         print(f"unreadable bench report: {error}", file=sys.stderr)
         return 2
+    conflicts = provenance_conflicts(baseline, candidate)
+    if conflicts:
+        print("reports measured with different configurations; "
+              "refusing to compare:", file=sys.stderr)
+        for conflict in conflicts:
+            print(f"  {conflict}", file=sys.stderr)
+        return 2
     result = compare_bench(baseline, candidate,
                            threshold=args.threshold)
     base_sha = baseline.provenance.get("git_sha", "?")
@@ -117,6 +164,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "merge":
         return _run_merge(args)
+    if args.command == "watch":
+        return _run_watch(args)
     problems: typing.List[str] = []
     try:
         with open(args.trace, encoding="utf-8") as handle:

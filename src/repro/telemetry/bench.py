@@ -275,6 +275,32 @@ def merge_reports(fragments: typing.Sequence[BenchReport],
 # ----------------------------------------------------------------------
 # Comparison
 # ----------------------------------------------------------------------
+#: Provenance keys that describe *how* latency metrics were measured.
+#: Two reports disagreeing on any of these measured different things —
+#: a p99 over 16 sub-buckets is not comparable to one over 4, and
+#: window means change with the window — so `compare` refuses to diff
+#: them rather than report a phantom regression.
+MEASUREMENT_KEYS: typing.Tuple[str, ...] = ("sketch", "timeseries_window_ns")
+
+
+def provenance_conflicts(
+        baseline: BenchReport, candidate: BenchReport,
+        keys: typing.Sequence[str] = MEASUREMENT_KEYS) -> typing.List[str]:
+    """Measurement-configuration mismatches between two reports.
+
+    Only keys present in *both* provenance blocks can conflict — a
+    baseline recorded before a key existed stays comparable.
+    """
+    conflicts = []
+    for key in keys:
+        base = baseline.provenance.get(key)
+        cand = candidate.provenance.get(key)
+        if base is not None and cand is not None and base != cand:
+            conflicts.append(
+                f"{key}: baseline {base!r} vs candidate {cand!r}")
+    return conflicts
+
+
 @dataclasses.dataclass
 class MetricDelta:
     """One metric's movement between baseline and candidate."""

@@ -15,6 +15,7 @@ import dataclasses
 import html
 import typing
 
+from repro.sim.stats import Histogram
 from repro.telemetry import gauges as gauges_mod
 from repro.telemetry import profile as profile_mod
 from repro.telemetry.tracer import Span
@@ -31,6 +32,8 @@ class ExperimentProfile:
     utilization: typing.List[gauges_mod.TrackUtilization]
     littles: gauges_mod.LittlesLawCheck | None
     invariant_problems: typing.List[str]
+    latency_quantiles: typing.Dict[str, float] = \
+        dataclasses.field(default_factory=dict)
 
     @property
     def hidden_fraction(self) -> float:
@@ -48,6 +51,9 @@ def build_profile(name: str, spans: typing.Sequence[Span],
     attributions = profile_mod.attribute_requests(spans)
     summary = profile_mod.summarize(attributions)
     window = gauges_mod.capture_window(spans)
+    latencies = Histogram("profile.latency")
+    for attribution in attributions:
+        latencies.add(attribution.latency_ns)
     return ExperimentProfile(
         name=name,
         window_ns=window[1] - window[0],
@@ -57,6 +63,7 @@ def build_profile(name: str, spans: typing.Sequence[Span],
         littles=gauges_mod.littles_law(spans),
         invariant_problems=profile_mod.verify_attribution(
             attributions, overlap_total_ns),
+        latency_quantiles=latencies.quantiles(),
     )
 
 
@@ -77,6 +84,11 @@ def render_text(profile: ExperimentProfile,
     lines = [f"profile: {profile.name}",
              f"  window {_fmt_ns(profile.window_ns)}, {count} requests, "
              f"mean latency {mean_latency}"]
+    if profile.latency_quantiles:
+        tail = "  ".join(
+            f"{label} {_fmt_ns(value)}"
+            for label, value in profile.latency_quantiles.items())
+        lines.append(f"  latency quantiles: {tail}")
     lines.append("  latency attribution (mean per request / share of "
                  "end-to-end):")
     means = profile.summary.segment_means()
@@ -131,6 +143,7 @@ th:first-child, td:first-child { text-align: left; }
 .bar.hidden { background: #2ec4b6; }
 .ok { color: #2a9d2a; } .bad { color: #c1121f; font-weight: bold; }
 .meta { color: #666; font-size: 0.85rem; }
+svg.spark { vertical-align: middle; }
 """
 
 
@@ -170,9 +183,85 @@ def _utilization_rows(profile: ExperimentProfile) -> str:
     return "".join(rows)
 
 
+def _quantile_meta(profile: ExperimentProfile) -> str:
+    if not profile.latency_quantiles:
+        return ""
+    return " · " + " · ".join(
+        f"{html.escape(label)} {_fmt_ns(value)}"
+        for label, value in profile.latency_quantiles.items())
+
+
+def _svg_sparkline(values: typing.Sequence[float],
+                   width: int = 240, height: int = 32) -> str:
+    """Inline SVG polyline over a series (self-contained, no JS)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = width / max(1, len(values) - 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 2 - (v - lo) / span * (height - 4):.1f}"
+        for i, v in enumerate(values))
+    return (f"<svg width='{width}' height='{height}' class='spark'>"
+            f"<polyline points='{points}' fill='none' "
+            f"stroke='#4361ee' stroke-width='1.5'/></svg>")
+
+
+def _timeseries_section(document: typing.Mapping[str, typing.Any]) -> str:
+    """Windowed-series sparklines and latency-sketch quantile tables."""
+    window_ns = float(document.get("window_ns", 0.0))
+    parts = [f"<h2>timeseries</h2><p class='meta'>sampling window "
+             f"{_fmt_ns(window_ns)} · schema "
+             f"{html.escape(str(document.get('schema', '?')))}</p>"]
+    series = document.get("series", {})
+    if series:
+        rows = []
+        for path in sorted(series):
+            values = [float(v) for v in series[path].get("v", [])]
+            stat = (f"min {min(values):.3g} · mean "
+                    f"{sum(values) / len(values):.3g} · max "
+                    f"{max(values):.3g}") if values else "empty"
+            rows.append(
+                f"<tr><td>{html.escape(path)}</td>"
+                f"<td>{len(values)}</td>"
+                f"<td style='text-align:left'>{_svg_sparkline(values)}"
+                f"</td><td style='text-align:left' class='meta'>{stat}"
+                f"</td></tr>")
+        parts.append("<table><tr><th>series</th><th>windows</th>"
+                     "<th>trend</th><th></th></tr>"
+                     + "".join(rows) + "</table>")
+    sketches = document.get("sketches", {})
+    if sketches:
+        rows = []
+        for path in sorted(sketches):
+            sketch = sketches[path]
+            quantiles = sketch.get("quantiles", {})
+            cells = "".join(
+                f"<td>{_fmt_ns(float(quantiles[label]))}</td>"
+                if label in quantiles else "<td>-</td>"
+                for label in ("p50", "p95", "p99", "p999"))
+            rows.append(
+                f"<tr><td>{html.escape(path)}</td>"
+                f"<td>{sketch.get('count', 0)}</td>{cells}"
+                f"<td>{sketch.get('clamped', 0)}</td></tr>")
+        parts.append("<h3>latency sketches</h3>"
+                     "<table><tr><th>sketch</th><th>samples</th>"
+                     "<th>p50</th><th>p95</th><th>p99</th><th>p999</th>"
+                     "<th>clamped</th></tr>"
+                     + "".join(rows) + "</table>")
+    return "".join(parts)
+
+
 def render_html(profiles: typing.Sequence[ExperimentProfile],
-                title: str = "repro experiment profiles") -> str:
-    """Self-contained HTML dashboard for one or more experiments."""
+                title: str = "repro experiment profiles",
+                timeseries: typing.Optional[
+                    typing.Mapping[str, typing.Any]] = None) -> str:
+    """Self-contained HTML dashboard for one or more experiments.
+
+    ``timeseries`` takes an exported timeseries document (the dict
+    shape written by :func:`repro.telemetry.timeseries.write_timeseries`)
+    and appends a windowed-series + latency-sketch section.
+    """
     sections = []
     for profile in profiles:
         summary = profile.summary
@@ -203,7 +292,7 @@ def render_html(profiles: typing.Sequence[ExperimentProfile],
 <h2>{html.escape(profile.name)}</h2>
 <p class='meta'>window {_fmt_ns(profile.window_ns)} ·
 {summary.request_count} requests · mean latency
-{_fmt_ns(mean_latency)}</p>
+{_fmt_ns(mean_latency)}{_quantile_meta(profile)}</p>
 {invariant}
 <h3>latency attribution</h3>
 <table><tr><th>segment</th><th>mean/request</th><th>share</th>
@@ -213,6 +302,8 @@ def render_html(profiles: typing.Sequence[ExperimentProfile],
 <th>spans</th><th></th></tr>{_utilization_rows(profile)}</table>
 {littles}
 """)
+    if timeseries is not None:
+        sections.append(_timeseries_section(timeseries))
     body = "".join(sections) if sections else "<p>no captures</p>"
     return (f"<!DOCTYPE html><html><head><meta charset='utf-8'>"
             f"<title>{html.escape(title)}</title>"

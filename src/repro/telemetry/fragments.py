@@ -17,7 +17,8 @@ Two invariants make the merge parity-exact with a serial run:
   registry, exactly where the serial run would have put it.
 * Shared (non-prefixed) paths such as ``sched.interleave.overlap_ns``
   accumulate: counters add, histograms pool samples, breakdowns merge
-  category-wise, series concatenate — matching a serial run where all
+  category-wise, series concatenate, latency sketches fold bucket-wise
+  (an associative integer merge) — matching a serial run where all
   cells write through one shared container.
 
 Gauges keep their write semantics: plain gauges overwrite in merge
@@ -31,7 +32,13 @@ import dataclasses
 import itertools
 import typing
 
-from repro.sim.stats import Breakdown, Counter, Histogram, TimeSeries
+from repro.sim.stats import (
+    Breakdown,
+    Counter,
+    Histogram,
+    LatencySketch,
+    TimeSeries,
+)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import RecordingTracer, Span
 
@@ -46,6 +53,7 @@ _KINDS: typing.Dict[str, typing.Type[typing.Any]] = {
     "histogram": Histogram,
     "breakdown": Breakdown,
     "series": TimeSeries,
+    "sketch": LatencySketch,
 }
 
 
@@ -102,6 +110,8 @@ def capture_metrics(registry: MetricsRegistry) -> MetricsFragment:
             containers.append((path, "series",
                                (list(container.times),
                                 list(container.values))))
+        elif isinstance(container, LatencySketch):
+            containers.append((path, "sketch", container.to_payload()))
     gauges = [(path, value, path in registry._gauge_max_paths)
               for path, value in registry._gauges.items()]
     return MetricsFragment(
@@ -155,6 +165,10 @@ def merge_metrics(target: MetricsRegistry,
         elif kind == "breakdown":
             for category, amount in payload.items():
                 container.add(category, amount)
+        elif kind == "sketch":
+            # Associative integer-bucket fold: any merge grouping of
+            # fragments reproduces the serial sketch byte-for-byte.
+            container.merge(LatencySketch.from_payload(path, payload))
         else:  # series: concatenation (worker series are cell-local)
             times, values = payload
             container.times.extend(times)

@@ -20,12 +20,26 @@ import contextlib
 import contextvars
 import fnmatch
 import math
+import sys
 import typing
 
-from repro.sim.stats import Breakdown, Counter, Histogram, TimeSeries
+from repro.sim.stats import (
+    Breakdown,
+    Counter,
+    Histogram,
+    LatencySketch,
+    TimeSeries,
+)
 
 #: Anything the registry can hold under a path.
-Container = typing.Union[Counter, Histogram, Breakdown, TimeSeries]
+Container = typing.Union[
+    Counter, Histogram, Breakdown, TimeSeries, LatencySketch]
+
+
+def _caller_site(depth: int) -> str:
+    """``file:line`` of the frame ``depth`` levels above the caller."""
+    frame = sys._getframe(depth + 1)
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
 
 
 class MetricsRegistry:
@@ -55,6 +69,9 @@ class MetricsRegistry:
         # Paths whose last write came through gauge_max (peak semantics);
         # fragment merge folds these with max() instead of overwrite.
         self._gauge_max_paths: typing.Set[str] = set()
+        # path -> "file:line" of the registration site, recorded only at
+        # registration time so collisions can name both parties.
+        self._sites: typing.Dict[str, str] = {}
 
     # -- namespace management ------------------------------------------
     def component_prefix(self, base: str) -> str:
@@ -81,31 +98,35 @@ class MetricsRegistry:
         """
         return self._latest_prefix.get(base, base)
 
-    def _unique_path(self, path: str) -> str:
-        if path not in self._containers and path not in self._gauges:
-            return path
-        counter = 2
-        while (f"{path}#{counter}" in self._containers
-               or f"{path}#{counter}" in self._gauges):
-            counter += 1
-        return f"{path}#{counter}"
-
     # -- registration --------------------------------------------------
     def attach(self, path: str, container: Container) -> str:
-        """Register an existing container; returns the path actually used.
+        """Register an existing container; returns the path (``path``).
 
-        A colliding path gets a ``#N`` suffix (first registrant keeps
-        the plain name) unless it is the *same* container object, which
-        is idempotent.
+        Re-attaching the *same* container object is idempotent.
+        Attaching a *different* object under an occupied path raises
+        ``ValueError`` naming both registration sites: a dotted path
+        names exactly one series, and silently suffixing the second
+        registrant produced charts where half a component's samples hid
+        under a ``#N`` name nobody plotted.  Components wanting
+        per-instance namespaces reserve one with
+        :meth:`component_prefix` instead.
         """
         if not self.enabled:
             return path
         existing = self._containers.get(path)
         if existing is container:
             return path
-        unique = self._unique_path(path)
-        self._containers[unique] = container
-        return unique
+        if existing is not None or path in self._gauges:
+            first = self._sites.get(path, "<unknown site>")
+            raise ValueError(
+                f"metric path {path!r} is already registered (first "
+                f"registered at {first}, now re-registered with a "
+                f"different container at {_caller_site(1)}); reserve a "
+                f"component_prefix() for per-instance namespaces"
+            )
+        self._containers[path] = container
+        self._sites[path] = _caller_site(1)
+        return path
 
     def gauge(self, path: str, value: float) -> None:
         """Set (overwrite) a scalar gauge."""
@@ -140,7 +161,12 @@ class MetricsRegistry:
         """Shared time series at ``path`` (created on first use)."""
         return self._get_or_create(path, TimeSeries)
 
-    _C = typing.TypeVar("_C", Counter, Histogram, Breakdown, TimeSeries)
+    def sketch(self, path: str) -> LatencySketch:
+        """Shared latency sketch at ``path`` (created on first use)."""
+        return self._get_or_create(path, LatencySketch)
+
+    _C = typing.TypeVar("_C", Counter, Histogram, Breakdown, TimeSeries,
+                        LatencySketch)
 
     def _get_or_create(self, path: str, kind: typing.Type[_C]) -> _C:
         if not self.enabled:
@@ -194,6 +220,10 @@ class MetricsRegistry:
                 flat[f"{path}.total"] = container.total
             elif isinstance(container, TimeSeries):
                 flat[f"{path}.samples"] = float(len(container))
+            elif isinstance(container, LatencySketch):
+                flat[f"{path}.count"] = float(container.count)
+                for quantile_name, value in container.quantiles().items():
+                    flat[f"{path}.{quantile_name}"] = value
         return flat
 
     def summary_table(self, pattern: str = "*") -> str:

@@ -16,8 +16,14 @@ from __future__ import annotations
 import contextlib
 import typing
 
+from repro.sim.sampling import use_sampling
 from repro.telemetry.export import write_perfetto, write_spanlog
 from repro.telemetry.metrics import MetricsRegistry, use_metrics
+from repro.telemetry.timeseries import (
+    SamplingConfig,
+    export_document,
+    write_timeseries,
+)
 from repro.telemetry.tracer import RecordingTracer, use_tracer
 
 
@@ -25,11 +31,13 @@ class Telemetry:
     """A recording tracer and a metrics registry, activated together."""
 
     def __init__(self, record_kernel_events: bool = False,
-                 record_spans: bool = True) -> None:
+                 record_spans: bool = True,
+                 timeseries: typing.Optional[SamplingConfig] = None) -> None:
         self.record_spans = record_spans
         self.tracer = RecordingTracer(
             record_kernel_events=record_kernel_events)
         self.metrics = MetricsRegistry()
+        self.timeseries = timeseries
 
     @contextlib.contextmanager
     def activate(self) -> typing.Iterator["Telemetry"]:
@@ -37,14 +45,17 @@ class Telemetry:
 
         With ``record_spans=False`` only the metrics registry is
         installed — the ambient tracer stays null, so metrics-only runs
-        keep the zero-overhead tracing path.
+        keep the zero-overhead tracing path.  With a ``timeseries``
+        sampling config, simulators built inside the body sample
+        windowed series into the registry.
         """
-        if self.record_spans:
-            with use_tracer(self.tracer), use_metrics(self.metrics):
-                yield self
-        else:
-            with use_metrics(self.metrics):
-                yield self
+        with contextlib.ExitStack() as stack:
+            if self.record_spans:
+                stack.enter_context(use_tracer(self.tracer))
+            stack.enter_context(use_metrics(self.metrics))
+            if self.timeseries is not None:
+                stack.enter_context(use_sampling(self.timeseries))
+            yield self
 
     # -- export ---------------------------------------------------------
     def write_trace(self, path: str) -> None:
@@ -54,6 +65,16 @@ class Telemetry:
     def write_spanlog(self, path: str) -> None:
         """JSON-lines span log (spans, instants, protocol commands)."""
         write_spanlog(self.tracer, path)
+
+    def timeseries_document(self) -> typing.Dict[str, typing.Any]:
+        """The registry's series/sketches as an exportable document."""
+        config = self.timeseries if self.timeseries is not None \
+            else SamplingConfig()
+        return export_document(self.metrics, config.window_ns)
+
+    def write_timeseries(self, path: str) -> None:
+        """Export sampled series + sketches (JSON, or CSV by suffix)."""
+        write_timeseries(path, self.timeseries_document())
 
     def summary(self, pattern: str = "*") -> str:
         """Terminal metrics table (fnmatch ``pattern`` filters paths)."""

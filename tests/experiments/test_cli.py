@@ -122,3 +122,70 @@ class TestTelemetryFlags:
         cli.main(["run", "fig12"])
         assert not current_tracer().enabled
         assert not current_metrics().enabled
+
+
+class TestTimeseriesFlags:
+    def test_flags_parse_with_defaults(self):
+        from repro.telemetry import DEFAULT_WINDOW_NS
+        args = cli.build_parser().parse_args(
+            ["run", "fig12", "--timeseries", "ts.json"])
+        assert args.timeseries == "ts.json"
+        assert args.window == DEFAULT_WINDOW_NS
+        assert cli.build_parser().parse_args(
+            ["run", "fig12"]).timeseries is None
+
+    def test_bad_window_rejected(self, capsys):
+        assert cli.main(["fig12", "--quick", "--timeseries", "x.json",
+                         "--window", "0"]) == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_timeseries_written_and_valid(self, tmp_path, capsys):
+        from repro.telemetry import load_timeseries, validate_timeseries
+
+        out = tmp_path / "ts.json"
+        assert cli.main(["fig12", "--quick", "--timeseries", str(out),
+                         "--window", "500"]) == 0
+        assert str(out) in capsys.readouterr().out
+        document = load_timeseries(str(out))
+        assert validate_timeseries(document) == []
+        assert document["window_ns"] == 500.0
+        assert any(".window." in name for name in document["series"])
+
+    def test_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "ts.csv"
+        assert cli.main(["fig12", "--quick", "--timeseries", str(out),
+                         "--window", "500"]) == 0
+        capsys.readouterr()
+        assert out.read_text().startswith("series,t,v")
+
+    def test_report_includes_timeseries_section(self, tmp_path, capsys):
+        report = tmp_path / "report.html"
+        ts = tmp_path / "ts.json"
+        assert cli.main(["fig12", "--quick", "--timeseries", str(ts),
+                         "--window", "500",
+                         "--report", str(report)]) == 0
+        capsys.readouterr()
+        text = report.read_text()
+        assert "<h2>timeseries</h2>" in text
+        assert "latency sketches" in text
+        assert "spark" in text
+
+    def test_watch_renders_exported_document(self, tmp_path, capsys):
+        from repro.telemetry.__main__ import main as telemetry_main
+
+        out = tmp_path / "ts.json"
+        assert cli.main(["fig12", "--quick", "--timeseries", str(out),
+                         "--window", "500"]) == 0
+        capsys.readouterr()
+        assert telemetry_main(["watch", str(out)]) == 0
+        watched = capsys.readouterr().out
+        assert "time series" in watched
+        assert "p999" in watched
+
+    def test_watch_rejects_invalid_document(self, tmp_path, capsys):
+        from repro.telemetry.__main__ import main as telemetry_main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}\n')
+        assert telemetry_main(["watch", str(bad)]) == 1
+        assert "schema" in capsys.readouterr().err

@@ -1,12 +1,13 @@
 """Tests for the process-parallel experiment runner and result cache."""
 
 import dataclasses
+import json
 
 import pytest
 
 from repro.experiments import parallel, runner
 from repro.experiments.cli import main
-from repro.telemetry import Telemetry
+from repro.telemetry import SamplingConfig, Telemetry
 
 #: Two workloads x two systems: enough cells for a jobs=4 sharding.
 SYSTEMS = ("Hetero", "DRAM-less")
@@ -52,6 +53,24 @@ class TestParallelEquivalence:
                         == _canon(serial_matrix[workload][system]))
 
     @pytest.mark.determinism
+    def test_sampled_timeseries_match_serial_byte_for_byte(self):
+        # Windowed samples land in ordinary registry series, so the
+        # fragments merge reassembles a sharded run's timeseries —
+        # and its sketches — bit-for-bit.
+        def document(jobs):
+            telemetry = Telemetry(
+                record_spans=False,
+                timeseries=SamplingConfig(window_ns=500.0))
+            with telemetry.activate():
+                runner.run_matrix(runner.QUICK, SYSTEMS, jobs=jobs)
+            return json.dumps(telemetry.timeseries_document(),
+                              sort_keys=True)
+
+        serial = document(1)
+        assert document(2) == serial
+        assert '"sketches"' in serial
+
+    @pytest.mark.determinism
     def test_cli_results_are_byte_identical(self, tmp_path, monkeypatch,
                                             capsys):
         monkeypatch.setenv("REPRO_GIT_SHA", "0000test")
@@ -91,12 +110,25 @@ class TestResultCache:
     def test_key_depends_on_config(self):
         tree = "t" * 64
         quick = parallel.cell_key("matrix/gemver/Hetero", runner.QUICK,
-                                  (False, False), tree)
+                                  (False, False, None), tree)
         other = dataclasses.replace(runner.QUICK, seed=2)
         assert parallel.cell_key("matrix/gemver/Hetero", other,
-                                 (False, False), tree) != quick
+                                 (False, False, None), tree) != quick
         assert parallel.cell_key("matrix/gemver/DRAM-less", runner.QUICK,
-                                 (False, False), tree) != quick
+                                 (False, False, None), tree) != quick
+
+    def test_key_depends_on_sampling_spec(self):
+        # A sampled rerun must never replay a cell cached without
+        # sampling (its fragments would carry no windowed series).
+        tree = "t" * 64
+        plain = parallel.cell_key("matrix/gemver/Hetero", runner.QUICK,
+                                  (True, False, None), tree)
+        sampled = parallel.cell_key("matrix/gemver/Hetero", runner.QUICK,
+                                    (True, False, (500.0, None)), tree)
+        rewindowed = parallel.cell_key(
+            "matrix/gemver/Hetero", runner.QUICK,
+            (True, False, (250.0, None)), tree)
+        assert len({plain, sampled, rewindowed}) == 3
 
     def test_key_depends_on_source_tree(self, tmp_path):
         (tmp_path / "a.py").write_text("x = 1\n")

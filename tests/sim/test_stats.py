@@ -3,8 +3,11 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.sim import Breakdown, Counter, Histogram, TimeSeries
+from repro.sim import Breakdown, Counter, Histogram, LatencySketch, TimeSeries
+from repro.sim.stats import DEFAULT_SKETCH_LAYOUT, SketchLayout
 
 
 class TestCounter:
@@ -176,6 +179,198 @@ class TestHistogram:
         hist.add(3.0)   # appending beyond the max keeps it sorted
         assert hist.percentile(1.0) == 3.0
         assert hist.percentile(0.0) == 1.0
+
+    def test_single_sample_is_every_quantile(self):
+        hist = Histogram()
+        hist.add(7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.percentile(q) == 7.0
+
+    def test_nearest_rank_never_interpolates(self):
+        # Two samples: any q <= 0.5 resolves to the first, above it to
+        # the second — never a value between them.
+        hist = Histogram()
+        hist.add(10.0)
+        hist.add(20.0)
+        assert hist.percentile(0.5) == 10.0
+        assert hist.percentile(0.500001) == 20.0
+        assert hist.percentile(0.95) == 20.0
+
+    def test_quantiles_mapping(self):
+        hist = Histogram()
+        assert hist.quantiles() == {}
+        for v in range(1, 1001):
+            hist.add(float(v))
+        quantiles = hist.quantiles()
+        assert quantiles == {"p50": 500.0, "p95": 950.0,
+                             "p99": 990.0, "p999": 999.0}
+
+
+class TestSketchLayout:
+    def test_spec_string(self):
+        assert DEFAULT_SKETCH_LAYOUT.spec() == "log2[0,40)x16"
+        assert SketchLayout(2, 10, 4).spec() == "log2[2,10)x4"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SketchLayout(min_exp=5, max_exp=5)
+        with pytest.raises(ValueError):
+            SketchLayout(subbuckets=0)
+
+    def test_index_and_bounds_agree(self):
+        layout = SketchLayout(0, 8, 8)
+        for index in range(layout.bucket_count):
+            lo, hi = layout.bounds(index)
+            assert layout.index(lo) == index
+            # hi is exclusive: the next bucket starts there.
+            if hi < layout.max_value:
+                assert layout.index(hi) == index + 1
+
+    def test_bounds_range_check(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SKETCH_LAYOUT.bounds(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_SKETCH_LAYOUT.bounds(
+                DEFAULT_SKETCH_LAYOUT.bucket_count)
+
+
+class TestLatencySketch:
+    def test_empty_sketch(self):
+        sketch = LatencySketch()
+        assert len(sketch) == 0
+        assert sketch.mean == 0.0
+        assert sketch.quantiles() == {}
+        with pytest.raises(ValueError):
+            sketch.percentile(0.5)
+
+    def test_single_sample_quantiles_are_that_sample(self):
+        sketch = LatencySketch()
+        sketch.add(100.0)
+        # One bucket's upper bound, clamped to max_value == the sample.
+        for q in (0.0, 0.5, 1.0):
+            assert sketch.percentile(q) == 100.0
+
+    def test_relative_error_within_one_bucket(self):
+        sketch = LatencySketch()
+        exact = Histogram()
+        for v in range(1, 5000):
+            sketch.add(float(v))
+            exact.add(float(v))
+        for q in (0.5, 0.95, 0.99, 0.999):
+            truth = exact.percentile(q)
+            approx = sketch.percentile(q)
+            assert approx >= truth  # bucket upper bound: never under
+            assert approx <= truth * (1 + 1 / 16) + 1e-9
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySketch().add(float("nan"))
+
+    def test_clamping_is_observable(self):
+        layout = SketchLayout(2, 6, 4)  # grid [4, 64)
+        sketch = LatencySketch(layout=layout)
+        sketch.add(1.0)      # below grid -> first bucket
+        sketch.add(1000.0)   # above grid -> last bucket
+        assert sketch.clamped == 2
+        assert sketch.count == 2
+        assert sketch.min_value == 1.0
+        assert sketch.max_value == 1000.0
+        # Quantiles stay inside the observed min/max despite clamping.
+        assert sketch.percentile(0.0) >= 1.0
+        assert sketch.percentile(1.0) <= 1000.0
+
+    def test_percentile_validates_fraction(self):
+        sketch = LatencySketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.percentile(1.5)
+
+    def test_merge_layout_mismatch_names_both_specs(self):
+        left = LatencySketch()
+        left.add(5.0)
+        right = LatencySketch(layout=SketchLayout(0, 8, 8))
+        right.add(5.0)
+        with pytest.raises(ValueError) as excinfo:
+            left.merge(right)
+        assert "log2[0,40)x16" in str(excinfo.value)
+        assert "log2[0,8)x8" in str(excinfo.value)
+
+    def test_pristine_sketch_adopts_incoming_layout(self):
+        fresh = LatencySketch()
+        other = LatencySketch(layout=SketchLayout(0, 8, 8))
+        other.add(5.0)
+        fresh.merge(other)
+        assert fresh.layout == other.layout
+        assert fresh.count == 1
+
+    def test_payload_round_trip(self):
+        sketch = LatencySketch("lat")
+        for v in (1.0, 17.0, 900.0):
+            sketch.add(v)
+        rebuilt = LatencySketch.from_payload("lat", sketch.to_payload())
+        assert rebuilt.to_payload() == sketch.to_payload()
+        assert rebuilt.quantiles() == sketch.quantiles()
+
+    def test_reset(self):
+        sketch = LatencySketch()
+        sketch.add(3.0)
+        sketch.reset()
+        assert len(sketch) == 0
+        assert sketch.quantiles() == {}
+
+
+#: Strategy: sample batches on (and around) the default grid.
+_samples = st.lists(
+    st.floats(min_value=0.25, max_value=2.0**41,
+              allow_nan=False, allow_infinity=False),
+    max_size=60)
+
+
+class TestSketchMergeProperties:
+    @given(_samples, _samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes_byte_for_byte(self, a, b):
+        left, right = LatencySketch(), LatencySketch()
+        for v in a:
+            left.add(v)
+        for v in b:
+            right.add(v)
+        ab, ba = LatencySketch(), LatencySketch()
+        ab.merge(left), ab.merge(right)
+        ba.merge(right), ba.merge(left)
+        assert ab.to_payload() == ba.to_payload()
+
+    @given(_samples, _samples, _samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        def sketch_of(values):
+            sketch = LatencySketch()
+            for v in values:
+                sketch.add(v)
+            return sketch
+
+        left = sketch_of(a)
+        left.merge(sketch_of(b))
+        left.merge(sketch_of(c))
+        bc = sketch_of(b)
+        bc.merge(sketch_of(c))
+        right = sketch_of(a)
+        right.merge(bc)
+        assert left.to_payload() == right.to_payload()
+
+    @given(_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merged_equals_serial(self, values):
+        serial = LatencySketch()
+        for v in values:
+            serial.add(v)
+        shards = [LatencySketch() for _ in range(3)]
+        for i, v in enumerate(values):
+            shards[i % 3].add(v)
+        merged = LatencySketch()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.to_payload() == serial.to_payload()
 
 
 class TestReset:

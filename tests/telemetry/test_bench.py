@@ -13,6 +13,7 @@ from repro.telemetry.bench import (
     compare,
     git_sha,
     load_bench,
+    provenance_conflicts,
     record_attestation,
     render_compare,
     stamp_provenance,
@@ -152,6 +153,49 @@ def test_missing_and_added_metrics_tracked():
     assert result.missing == ["old"]
     assert result.added == ["new"]
     assert result.deltas == []
+
+
+# ----------------------------------------------------------------------
+# measurement-configuration conflicts
+# ----------------------------------------------------------------------
+def _stamped(**extra):
+    return BenchReport(provenance={"git_sha": "abc1234", **extra},
+                       metrics={"m": BenchMetric(value=1.0)})
+
+
+def test_matching_measurement_stamps_do_not_conflict():
+    left = _stamped(sketch="log2[0,40)x16", timeseries_window_ns=1000.0)
+    assert provenance_conflicts(left, left) == []
+
+
+def test_mismatched_sketch_layouts_conflict():
+    conflicts = provenance_conflicts(
+        _stamped(sketch="log2[0,40)x16"),
+        _stamped(sketch="log2[0,8)x8"))
+    assert len(conflicts) == 1
+    assert "log2[0,40)x16" in conflicts[0]
+    assert "log2[0,8)x8" in conflicts[0]
+
+
+def test_legacy_report_without_stamp_still_compares():
+    # Older baselines predate the stamps; only keys present on BOTH
+    # sides can conflict, so compare keeps working across the boundary.
+    assert provenance_conflicts(
+        _stamped(), _stamped(sketch="log2[0,40)x16")) == []
+
+
+def test_compare_cli_refuses_mismatched_stamps(tmp_path, capsys):
+    from repro.telemetry.__main__ import main as telemetry_main
+
+    baseline = tmp_path / "baseline.json"
+    candidate = tmp_path / "candidate.json"
+    write_bench(_stamped(timeseries_window_ns=1000.0), baseline)
+    write_bench(_stamped(timeseries_window_ns=250.0), candidate)
+    assert telemetry_main(["compare", str(baseline),
+                           str(candidate)]) == 2
+    err = capsys.readouterr().err
+    assert "refusing to compare" in err
+    assert "timeseries_window_ns" in err
 
 
 def test_zero_baseline_regression_is_flagged():

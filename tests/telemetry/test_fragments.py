@@ -11,6 +11,7 @@ from repro.telemetry.fragments import (
     merge_metrics,
     merge_tracer,
 )
+from repro.sim import LatencySketch
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import RecordingTracer
 
@@ -22,6 +23,8 @@ def _worker_registry():
     registry.counter(f"{prefix}.requests").add(3)
     registry.histogram(f"{prefix}.latency_ns").add(10.0)
     registry.histogram(f"{prefix}.latency_ns").add(30.0)
+    registry.sketch(f"{prefix}.sketch.read").add(10.0)
+    registry.sketch(f"{prefix}.sketch.read").add(30.0)
     registry.counter("sched.interleave.overlap_ns").add(5)
     registry.gauge("pe.0.sleep_ns", 100.0)
     registry.gauge_max("sched.hints.depth_peak", 7.0)
@@ -78,6 +81,34 @@ class TestMetricsFragment:
         target = MetricsRegistry(enabled=False)
         merge_metrics(target, capture_metrics(_worker_registry()))
         assert target.snapshot() == {}
+
+    def test_sketches_fold_bucket_wise(self):
+        # Two cells' sketches merge by bucket addition; the merged
+        # payload is byte-identical to sketching all samples serially.
+        target = MetricsRegistry()
+        merge_metrics(target, capture_metrics(_worker_registry()))
+        merge_metrics(target, capture_metrics(_worker_registry()))
+        serial = LatencySketch()
+        for value in (10.0, 30.0):
+            serial.add(value)
+        merged = target.sketch("subsys.sketch.read")
+        assert merged.count == 2
+        assert merged.to_payload() == serial.to_payload()
+        # The second cell's prefix replay kept its sketch distinct.
+        assert target.sketch("subsys#2.sketch.read").count == 2
+
+    def test_sketch_merge_order_is_irrelevant(self):
+        heavy = MetricsRegistry()
+        heavy.sketch("lat").add(1000.0)
+        light = MetricsRegistry()
+        light.sketch("lat").add(2.0)
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        merge_metrics(ab, capture_metrics(heavy))
+        merge_metrics(ab, capture_metrics(light))
+        merge_metrics(ba, capture_metrics(light))
+        merge_metrics(ba, capture_metrics(heavy))
+        assert (ab.sketch("lat").to_payload()
+                == ba.sketch("lat").to_payload())
 
 
 class TestLatestPrefix:

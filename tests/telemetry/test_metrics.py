@@ -62,10 +62,25 @@ class TestAttach:
         assert metrics.attach("ch0.lat", hist) == "ch0.lat"
         assert metrics.get("ch0.lat") is hist
 
-    def test_attach_suffixes_a_different_object(self):
+    def test_attach_collision_raises_naming_both_sites(self):
         metrics = MetricsRegistry()
-        metrics.attach("ch0.lat", Histogram())
-        assert metrics.attach("ch0.lat", Histogram()) == "ch0.lat#2"
+        metrics.attach("ch0.lat", Histogram())  # first registration site
+        with pytest.raises(ValueError) as excinfo:
+            metrics.attach("ch0.lat", Histogram())
+        message = str(excinfo.value)
+        assert "ch0.lat" in message
+        # Both registration sites are named (this file, two lines).
+        assert message.count("test_metrics.py") == 2
+
+    def test_attach_collision_with_a_gauge_raises(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("depth", 3.0)
+        with pytest.raises(ValueError):
+            metrics.attach("depth", Histogram())
+
+    def test_disabled_attach_stays_a_no_op(self):
+        assert NULL_METRICS.attach("x", Histogram()) == "x"
+        assert NULL_METRICS.attach("x", Histogram()) == "x"
 
 
 class TestSnapshot:
