@@ -1,0 +1,144 @@
+"""Disabled-hostprof overhead guard.
+
+The host profiler threaded two costs into the kernel: ``run()`` gained
+an ``elif self._hostprofiling`` mode test, and ``__init__`` gained an
+ambient-provider lookup.  The per-event paths are untouched — the
+profiled drain is a separate method and the schedule census swaps
+``_schedule`` as an instance attribute only when a profiler is bound —
+so with no profiler installed (every production run) the whole feature
+must cost at most 5% against a seed-replica ``run()`` with no profiler
+branch at all.
+
+Methodology matches the other disabled-hook guards: interleaved timing
+(alternating variants so host drift hits both equally), min-of-N
+score, one retry with more repetitions on a failing first pass.
+"""
+
+import heapq
+import math
+import time
+
+from repro.controller import MemoryRequest, Op, PramSubsystem
+from repro.sim import Simulator
+from repro.sim.hostprof import use_hostprof
+from repro.telemetry.hostprof import HostProfiler
+
+#: Acceptance bound: hooked-but-disabled runtime / seed runtime.
+MAX_OVERHEAD = 1.05
+
+#: Simulated read stream size per timing sample.
+REQUESTS = 192
+
+
+# ----------------------------------------------------------------------
+# Seed replica: run() with no host-profiling branch
+# ----------------------------------------------------------------------
+def _seed_run(self, until=None):
+    if until is not None and math.isnan(until):
+        raise ValueError("cannot run until NaN")
+    if until is not None and until < self._now:
+        raise ValueError(
+            f"cannot run until {until} ns: clock already at {self._now} ns")
+    sampler = self.sampler
+    if self._tiebreak_rng is not None:
+        self._run_shuffled(until)
+    elif self._tracing or self._sanitizing or self._sampling:
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                break
+            if sampler is not None:
+                sampler.advance(when)
+            self.step()
+    else:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                break
+            self._now = when
+            last_seq = -1
+            while heap and heap[0][0] == when:
+                _, seq, event = pop(heap)
+                assert seq > last_seq, (
+                    "same-timestamp drain broke FIFO schedule order")
+                last_seq = seq
+                callbacks, event.callbacks = event.callbacks, []
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+    if until is not None:
+        if sampler is not None and until > self._now:
+            sampler.advance(until)
+        self._now = max(self._now, until)
+
+
+_SEED_PATCHES = (
+    (Simulator, "run", _seed_run),
+)
+
+
+def _drive() -> float:
+    sim = Simulator()
+    subsystem = PramSubsystem(sim)
+
+    def driver():
+        for index in range(REQUESTS):
+            request = MemoryRequest(Op.READ, (index * 512) % (1 << 20),
+                                    512)
+            yield sim.process(subsystem.submit(request))
+
+    sim.process(driver())
+    sim.run()
+    return sim.now
+
+
+def _sample() -> float:
+    start = time.perf_counter()
+    _drive()
+    return time.perf_counter() - start
+
+
+def _measure(repetitions: int, monkeypatch_ctx) -> float:
+    """Min-of-N interleaved ratio: hooked kernel / seed kernel."""
+    current: list = []
+    seed: list = []
+    for _ in range(repetitions):
+        current.append(_sample())
+        with monkeypatch_ctx() as patch:
+            for target, name, replacement in _SEED_PATCHES:
+                patch.setattr(target, name, replacement)
+            seed.append(_sample())
+    return min(current) / min(seed)
+
+
+def test_seed_replica_produces_identical_results(monkeypatch):
+    baseline = _drive()
+    for target, name, replacement in _SEED_PATCHES:
+        monkeypatch.setattr(target, name, replacement)
+    assert _drive() == baseline
+
+
+def test_profiled_run_matches_unprofiled_physics():
+    """The profiled drain must observe exactly what the fast drain
+    does: same simulated end time, one dispatch counted per event."""
+    baseline = _drive()
+    profiler = HostProfiler()
+    with use_hostprof(profiler):
+        profiled = _drive()
+    assert profiled == baseline
+    assert sum(profiler.dispatches.values()) > 0
+    assert profiler.total_ns() > 0
+
+
+def test_disabled_hostprof_overhead_within_bound(monkeypatch):
+    import pytest
+
+    _sample()  # warm caches/allocator before timing
+    ratio = _measure(7, pytest.MonkeyPatch.context)
+    if ratio > MAX_OVERHEAD:  # one retry with more repetitions
+        ratio = _measure(15, pytest.MonkeyPatch.context)
+    assert ratio <= MAX_OVERHEAD, (
+        f"hooked-but-disabled run is {ratio:.3f}x the seed kernel "
+        f"(bound {MAX_OVERHEAD}x)")

@@ -28,23 +28,33 @@ at https://ui.perfetto.dev), a JSON-lines span log consumable by the
 ``--timeseries OUT [--window NS]`` additionally samples queue depths
 and occupancies into fixed windows of simulated time and exports them
 (view with ``python -m repro.telemetry watch OUT``).
+``--hostprof OUT`` attributes *host* wall-clock to (component, process,
+phase, event-kind) buckets at event-dispatch granularity and exports a
+flamegraph: speedscope JSON by default (load at https://speedscope.app
+or view with ``python -m repro.telemetry flame OUT``), collapsed-stack
+text when OUT ends in ``.collapsed``/``.txt``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import typing
 
 from repro.controller.request import reset_request_ids
 from repro.experiments import parallel, runner
+from repro.sim.hostprof import use_hostprof
 from repro.telemetry import (
     DEFAULT_WINDOW_NS,
+    HostProfiler,
     SamplingConfig,
     Telemetry,
     build_profile,
     render_html,
+    render_summary,
     render_text,
+    write_hostprof,
 )
 from repro.experiments import (
     fig01_motivation,
@@ -160,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--report", metavar="OUT.html", default=None,
                             help="write a self-contained HTML profile "
                                  "dashboard to this file")
+    run_parser.add_argument("--hostprof", metavar="OUT", default=None,
+                            help="profile host wall-clock per (component, "
+                                 "process, phase, event-kind) bucket and "
+                                 "export a flamegraph to OUT (speedscope "
+                                 "JSON; .collapsed/.txt for collapsed "
+                                 "stacks); view with 'python -m "
+                                 "repro.telemetry flame OUT'")
     return parser
 
 
@@ -266,39 +283,46 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     telemetry = (Telemetry(record_spans=want_spans, timeseries=sampling)
                  if want_spans or args.metrics or sampling is not None
                  else None)
+    # The profiler is both collector and ambient provider: serial runs
+    # feed it directly via the hook; sharded runs capture per-worker
+    # fragments and merge_outcome folds them into this same instance.
+    hostprof = HostProfiler() if args.hostprof is not None else None
     profiles = []
     reports: typing.Dict[str, str] = {}
-    if args.jobs != 1 or args.cache is not None:
-        reports = _run_sharded(chosen, config, args, telemetry,
-                               want_spans, profiles)
-        for name in chosen:
-            print(reports[name])
-            print()
-    else:
-        for name in chosen:
-            _, run_fn = EXPERIMENTS[name]
-            # Same cell boundary as the sharded workers: request ids
-            # restart per experiment (and per matrix cell within it).
-            reset_request_ids()
-            if telemetry is not None:
-                mark = len(telemetry.tracer.spans)
-                overlap_counter = telemetry.metrics.counter(
-                    "sched.interleave.overlap_ns")
-                overlap_before = overlap_counter.value
-                with telemetry.activate(), telemetry.tracer.scope(name):
+    with (use_hostprof(hostprof) if hostprof is not None
+          else contextlib.nullcontext()):
+        if args.jobs != 1 or args.cache is not None:
+            reports = _run_sharded(chosen, config, args, telemetry,
+                                   want_spans, profiles)
+            for name in chosen:
+                print(reports[name])
+                print()
+        else:
+            for name in chosen:
+                _, run_fn = EXPERIMENTS[name]
+                # Same cell boundary as the sharded workers: request ids
+                # restart per experiment (and per matrix cell within it).
+                reset_request_ids()
+                if telemetry is not None:
+                    mark = len(telemetry.tracer.spans)
+                    overlap_counter = telemetry.metrics.counter(
+                        "sched.interleave.overlap_ns")
+                    overlap_before = overlap_counter.value
+                    with telemetry.activate(), telemetry.tracer.scope(name):
+                        report = run_fn(config)
+                    if want_spans:
+                        # The counter is cumulative across experiments;
+                        # the profile wants this experiment's
+                        # contribution only.
+                        profiles.append(build_profile(
+                            name, telemetry.tracer.spans[mark:],
+                            overlap_total_ns=(overlap_counter.value
+                                              - overlap_before)))
+                else:
                     report = run_fn(config)
-                if want_spans:
-                    # The counter is cumulative across experiments; the
-                    # profile wants this experiment's contribution only.
-                    profiles.append(build_profile(
-                        name, telemetry.tracer.spans[mark:],
-                        overlap_total_ns=(overlap_counter.value
-                                          - overlap_before)))
-            else:
-                report = run_fn(config)
-            reports[name] = report
-            print(report)
-            print()
+                reports[name] = report
+                print(report)
+                print()
     if args.results is not None:
         for name in chosen:
             parallel.write_result(
@@ -322,13 +346,20 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         if args.report:
             timeseries_doc = (telemetry.timeseries_document()
                               if sampling is not None else None)
+            hostprof_doc = (hostprof.to_payload()
+                            if hostprof is not None else None)
             with open(args.report, "w", encoding="utf-8") as handle:
                 handle.write(render_html(profiles,
-                                         timeseries=timeseries_doc))
+                                         timeseries=timeseries_doc,
+                                         hostprof=hostprof_doc))
             print(f"profile dashboard written to {args.report}")
         if args.metrics:
             print("metrics summary")
             print(telemetry.summary())
+    if hostprof is not None:
+        kind = write_hostprof(hostprof, args.hostprof)
+        print(f"host profile ({kind}) written to {args.hostprof}")
+        print(render_summary(hostprof))
     return 0
 
 

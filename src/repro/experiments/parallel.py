@@ -42,18 +42,23 @@ import typing
 
 from repro.controller.request import reset_request_ids
 from repro.experiments import runner
+from repro.sim.hostprof import current_hostprof, use_hostprof
 from repro.sim.sampling import current_sampling, use_sampling
 from repro.systems import build_system
 from repro.systems.base import ExecutionResult
 from repro.telemetry.bench import collect_provenance
 from repro.telemetry.fragments import (
+    HostProfFragment,
     MetricsFragment,
     TracerFragment,
+    capture_hostprof,
     capture_metrics,
     capture_tracer,
+    merge_hostprof,
     merge_metrics,
     merge_tracer,
 )
+from repro.telemetry.hostprof import HostProfiler
 from repro.telemetry.metrics import (
     MetricsRegistry,
     current_metrics,
@@ -68,14 +73,17 @@ from repro.telemetry.tracer import (
 
 #: Bumped whenever the cached payload layout changes; part of every key.
 #: 2: capture tuple gained the time-series sampling spec.
-CACHE_SCHEMA = 2
+#: 3: capture tuple + CellOutcome gained the host-profiling fragment.
+CACHE_SCHEMA = 3
 
-#: What telemetry a cell must capture: ``(metrics, spans, sampling)``
-#: where sampling is ``None`` or ``(window_ns, retention)``.  Part of
-#: the cache key — a sampled rerun never reuses an unsampled entry.
+#: What telemetry a cell must capture: ``(metrics, spans, sampling,
+#: hostprof)`` where sampling is ``None`` or ``(window_ns, retention)``.
+#: Part of the cache key — a sampled (or host-profiled) rerun never
+#: reuses an entry captured under different instrumentation.
 CaptureSpec = typing.Tuple[
     bool, bool,
-    typing.Optional[typing.Tuple[float, typing.Optional[int]]]]
+    typing.Optional[typing.Tuple[float, typing.Optional[int]]],
+    bool]
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -208,16 +216,19 @@ class CellOutcome:
     payload: typing.Any  # ExecutionResult (matrix) or report str
     metrics: typing.Union[MetricsFragment, None]
     tracer: typing.Union[TracerFragment, None]
+    hostprof: typing.Union[HostProfFragment, None] = None
 
 
 @contextlib.contextmanager
 def _fresh_telemetry(capture: CaptureSpec) -> typing.Iterator[
         typing.Tuple[typing.Union[MetricsRegistry, None],
-                     typing.Union[RecordingTracer, None]]]:
-    """Fresh ambient registry/tracer for one cell (as requested)."""
-    want_metrics, want_spans, sampling = capture
+                     typing.Union[RecordingTracer, None],
+                     typing.Union[HostProfiler, None]]]:
+    """Fresh ambient registry/tracer/host profiler for one cell."""
+    want_metrics, want_spans, sampling, want_hostprof = capture
     registry = MetricsRegistry() if want_metrics else None
     tracer = RecordingTracer() if want_spans else None
+    profiler = HostProfiler() if want_hostprof else None
     with contextlib.ExitStack() as stack:
         if tracer is not None:
             stack.enter_context(use_tracer(tracer))
@@ -227,28 +238,33 @@ def _fresh_telemetry(capture: CaptureSpec) -> typing.Iterator[
                 # Same window/retention the parent sampled with, so the
                 # worker's windowed series merge byte-identically.
                 stack.enter_context(use_sampling(SamplingConfig(*sampling)))
-        yield registry, tracer
+        if profiler is not None:
+            stack.enter_context(use_hostprof(profiler))
+        yield registry, tracer, profiler
 
 
 def _finish_cell(payload: typing.Any,
                  registry: typing.Union[MetricsRegistry, None],
-                 tracer: typing.Union[RecordingTracer, None]
+                 tracer: typing.Union[RecordingTracer, None],
+                 profiler: typing.Union[HostProfiler, None] = None
                  ) -> CellOutcome:
     return CellOutcome(
         payload=payload,
         metrics=capture_metrics(registry) if registry is not None else None,
-        tracer=capture_tracer(tracer) if tracer is not None else None)
+        tracer=capture_tracer(tracer) if tracer is not None else None,
+        hostprof=(capture_hostprof(profiler)
+                  if profiler is not None else None))
 
 
 def _run_matrix_cell(config: runner.ExperimentConfig, workload: str,
                      system: str,
                      capture: CaptureSpec) -> CellOutcome:
     """Worker: one (workload, system) cell under fresh telemetry."""
-    with _fresh_telemetry(capture) as (registry, tracer):
+    with _fresh_telemetry(capture) as (registry, tracer, profiler):
         reset_request_ids()
         bundle = config.bundle(workload)
         result = build_system(system, config.system_config()).run(bundle)
-    return _finish_cell(result, registry, tracer)
+    return _finish_cell(result, registry, tracer, profiler)
 
 
 def _run_experiment_cell(name: str, config: runner.ExperimentConfig,
@@ -261,14 +277,14 @@ def _run_experiment_cell(name: str, config: runner.ExperimentConfig,
     """
     from repro.experiments.cli import EXPERIMENTS
     _, run_fn = EXPERIMENTS[name]
-    with _fresh_telemetry(capture) as (registry, tracer):
+    with _fresh_telemetry(capture) as (registry, tracer, profiler):
         reset_request_ids()
         if tracer is not None:
             with tracer.scope(name):
                 report = run_fn(config)
         else:
             report = run_fn(config)
-    return _finish_cell(report, registry, tracer)
+    return _finish_cell(report, registry, tracer, profiler)
 
 
 # ----------------------------------------------------------------------
@@ -368,6 +384,10 @@ def merge_outcome(outcome: CellOutcome,
     if outcome.tracer is not None and getattr(tracer, "enabled", False):
         if isinstance(tracer, RecordingTracer):
             merge_tracer(tracer, outcome.tracer)
+    if outcome.hostprof is not None:
+        ambient = current_hostprof()
+        if isinstance(ambient, HostProfiler):
+            merge_hostprof(ambient, outcome.hostprof)
 
 
 def _ambient_capture() -> CaptureSpec:
@@ -376,7 +396,8 @@ def _ambient_capture() -> CaptureSpec:
                 if isinstance(provider, SamplingConfig) else None)
     return (current_metrics().enabled,
             isinstance(current_tracer(), RecordingTracer),
-            sampling)
+            sampling,
+            current_hostprof() is not None)
 
 
 def run_matrix_parallel(

@@ -17,6 +17,11 @@ The engine is a small, from-scratch, simpy-style coroutine kernel:
 
 from repro.sim.engine import Simulator
 from repro.sim.event import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.hostprof import (
+    HostProfilerHook,
+    current_hostprof,
+    use_hostprof,
+)
 from repro.sim.process import Process
 from repro.sim.resource import Channel, Resource, Store
 from repro.sim.sampling import SamplerHook, current_sampling, use_sampling
@@ -45,6 +50,7 @@ __all__ = [
     "Counter",
     "Event",
     "Histogram",
+    "HostProfilerHook",
     "Interrupt",
     "KernelSanitizer",
     "LatencySketch",
@@ -57,9 +63,11 @@ __all__ = [
     "Store",
     "TimeSeries",
     "Timeout",
+    "current_hostprof",
     "current_sampling",
     "current_sanitizer",
     "current_tiebreak_seed",
+    "use_hostprof",
     "use_sampling",
     "use_sanitizer",
     "use_tiebreak",

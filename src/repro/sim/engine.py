@@ -25,6 +25,7 @@ import random
 import typing
 
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
+from repro.sim.hostprof import HostProfilerHook, current_hostprof
 from repro.sim.process import Process
 from repro.sim.sampling import SamplerHook, current_sampling
 from repro.sim.sanitizer import (
@@ -66,7 +67,8 @@ class Simulator:
     def __init__(self, tracer: Tracer | None = None,
                  sanitizer: KernelSanitizer | None = None,
                  tiebreak_seed: int | None = None,
-                 sampler: SamplerHook | None = None) -> None:
+                 sampler: SamplerHook | None = None,
+                 hostprof: HostProfilerHook | None = None) -> None:
         self._now = 0.0
         self._heap: typing.List[HeapEntry] = []
         self._counter = itertools.count()
@@ -101,6 +103,24 @@ class Simulator:
                 sampler = provider.create_sampler()
         self.sampler: SamplerHook | None = sampler
         self._sampling = sampler is not None
+        # Host wall-clock profiling (repro.telemetry.hostprof).  Explicit
+        # hook wins; otherwise the ambient provider (if any) supplies
+        # one.  Profiled runs drain through _run_profiled — the run()
+        # mode choice pays one extra elif, and the batched fast drain
+        # stays untouched, so a disabled profiler costs nothing per
+        # event.  The schedule-census variant of _schedule is swapped in
+        # as an instance attribute (same trick as the sanitizer) so the
+        # uninstrumented scheduling fast path keeps its guard-free body.
+        if hostprof is None:
+            hostprof_provider = current_hostprof()
+            if hostprof_provider is not None:
+                hostprof = hostprof_provider.create_hostprof()
+        self.hostprof: HostProfilerHook | None = hostprof
+        self._hostprofiling = hostprof is not None
+        if self._hostprofiling:
+            self._schedule = (  # type: ignore[method-assign]
+                self._schedule_profiled_sanitized if self._sanitizing
+                else self._schedule_profiled)
         # Explicit tracer and the ambient one (use_tracer) both observe
         # this kernel; with neither active this collapses to the null
         # tracer and step() pays one attribute load.  Binding happens at
@@ -177,6 +197,28 @@ class Simulator:
         if sanitizer is not None:
             sanitizer.on_schedule(event)
 
+    def _schedule_profiled(self, delay: float, event: Event) -> None:
+        # Swapped in over _schedule only when a host profiler is bound:
+        # the schedule census (pushes per event kind) has to see the
+        # `_schedule` fast path too, and a permanent guard there would
+        # tax every uninstrumented run.
+        Simulator._schedule(self, delay, event)
+        hook = self.hostprof
+        if hook is not None:
+            hook.on_schedule(event)
+
+    def _schedule_profiled_sanitized(self, delay: float,
+                                     event: Event) -> None:
+        # Profiler + sanitizer both bound: keep the sanitizer's hook
+        # order (admit, then happens-before edge) and append the census.
+        Simulator._schedule(self, delay, event)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_schedule(event)
+        hook = self.hostprof
+        if hook is not None:
+            hook.on_schedule(event)
+
     def peek(self) -> float:
         """Timestamp of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
@@ -241,7 +283,12 @@ class Simulator:
             )
         sampler = self.sampler
         if self._tiebreak_rng is not None:
+            # The shuffle oracle's debug drain wins over profiling:
+            # host timing under a randomized dispatch order is not
+            # attributable to anything reproducible.
             self._run_shuffled(until)
+        elif self._hostprofiling:
+            self._run_profiled(until)
         elif self._tracing or self._sanitizing or self._sampling:
             while self._heap:
                 when = self._heap[0][0]
@@ -330,3 +377,57 @@ class Simulator:
                 event._processed = True
                 for callback in callbacks:
                     callback(event)
+
+    def _run_profiled(self, until: float | None) -> None:
+        """Host-profiled drain: batched like the fast drain, timed per
+        dispatch.
+
+        Composes with every other hook (tracer, sanitizer, sampler), so
+        a profiled run observes exactly what an unprofiled run would.
+        The hook's clock is read once before and once after each
+        event's callbacks; together with :meth:`HostProfilerHook.
+        begin_run`/``end_run`` the segments tile the drain's wall clock
+        — the gap between one dispatch's end and the next one's start
+        is the kernel's own heap work, so a collector that accounts the
+        gaps attributes ~100% of measured ``run()`` time.
+        """
+        hook = self.hostprof
+        assert hook is not None
+        clock = hook.clock
+        heap = self._heap
+        pop = heapq.heappop
+        tracer = self.tracer if self._tracing else None
+        sanitizer = self._sanitizer
+        sampler = self.sampler
+        hook.begin_run(clock())
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                break
+            if sampler is not None:
+                sampler.advance(when)
+            self._now = when
+            batch_size = 0
+            last_seq = -1
+            while heap and heap[0][0] == when:
+                _, seq, event = pop(heap)
+                # Same FIFO tie-break regression guard as the batched
+                # fast drain: equal timestamps in schedule order.
+                assert seq > last_seq, (
+                    "same-timestamp drain broke FIFO schedule order")
+                last_seq = seq
+                batch_size += 1
+                if sanitizer is not None:
+                    sanitizer.begin_task(event, when,
+                                         self._event_label(event))
+                if tracer is not None:
+                    self.events_processed += 1
+                    tracer.kernel_event(when, self._event_label(event))
+                callbacks, event.callbacks = event.callbacks, []
+                event._processed = True
+                start = clock()
+                for callback in callbacks:
+                    callback(event)
+                hook.on_dispatch(event, callbacks, start, clock())
+            hook.on_batch(batch_size)
+        hook.end_run(clock())

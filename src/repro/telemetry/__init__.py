@@ -58,6 +58,7 @@ from repro.telemetry.timeseries import (  # noqa: E402
     load_timeseries,
     render_watch,
     sparkline,
+    supports_unicode,
     validate_timeseries,
     write_timeseries,
 )
@@ -102,12 +103,30 @@ from repro.telemetry.bench import (  # noqa: E402
 )
 
 from repro.telemetry.fragments import (  # noqa: E402
+    HostProfFragment,
     MetricsFragment,
     TracerFragment,
+    capture_hostprof,
     capture_metrics,
     capture_tracer,
+    merge_hostprof,
     merge_metrics,
     merge_tracer,
+)
+
+from repro.telemetry.hostprof import (  # noqa: E402
+    HostProfiler,
+    classify_event,
+    collapsed_stacks,
+    load_speedscope,
+    parse_collapsed,
+    render_flame,
+    render_summary,
+    speedscope_document,
+    validate_speedscope,
+    write_collapsed,
+    write_hostprof,
+    write_speedscope,
 )
 
 from repro.telemetry.dashboard import (  # noqa: E402
@@ -118,16 +137,14 @@ from repro.telemetry.dashboard import (  # noqa: E402
 )
 
 __all__ = [
-    "DEFAULT_WINDOW_NS",
-    "NULL_METRICS",
-    "NULL_TRACER",
-    "SEGMENTS",
-    "TIMESERIES_SCHEMA",
     "AttributionSummary",
     "BenchMetric",
     "BenchReport",
     "CompareResult",
+    "DEFAULT_WINDOW_NS",
     "ExperimentProfile",
+    "HostProfFragment",
+    "HostProfiler",
     "IntervalGauge",
     "KernelEventRecorder",
     "LittlesLawCheck",
@@ -135,23 +152,30 @@ __all__ = [
     "MetricsFragment",
     "MetricsRegistry",
     "MultiTracer",
+    "NULL_METRICS",
+    "NULL_TRACER",
     "RecordingTracer",
     "RequestAttribution",
+    "SEGMENTS",
     "Sampler",
     "SamplingConfig",
     "Span",
+    "TIMESERIES_SCHEMA",
     "Telemetry",
     "TimeWeightedTracker",
+    "Tracer",
     "TracerFragment",
     "TrackUtilization",
-    "Tracer",
     "attribute_requests",
     "bench_filename",
     "build_profile",
+    "capture_hostprof",
     "capture_metrics",
     "capture_tracer",
     "capture_window",
+    "classify_event",
     "clear_attestations",
+    "collapsed_stacks",
     "collect_provenance",
     "combine",
     "compare",
@@ -161,32 +185,43 @@ __all__ = [
     "littles_law",
     "load_bench",
     "load_spanlog",
+    "load_speedscope",
     "load_timeseries",
+    "merge_hostprof",
     "merge_metrics",
     "merge_reports",
     "merge_tracer",
+    "parse_collapsed",
     "perfetto_document",
     "perfetto_events",
     "record_attestation",
     "render_compare",
+    "render_flame",
     "render_html",
+    "render_summary",
     "render_text",
     "render_watch",
     "request_depth_series",
     "spanlog_lines",
     "spanlog_spans",
     "sparkline",
+    "speedscope_document",
     "stamp_provenance",
     "summarize",
+    "supports_unicode",
     "track_gauges",
     "use_metrics",
     "use_tracer",
     "utilization_table",
     "validate_perfetto",
+    "validate_speedscope",
     "validate_timeseries",
     "verify_attribution",
     "write_bench",
+    "write_collapsed",
+    "write_hostprof",
     "write_perfetto",
     "write_spanlog",
+    "write_speedscope",
     "write_timeseries",
 ]

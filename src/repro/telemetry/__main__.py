@@ -18,6 +18,14 @@ one report; conflicting duplicate metrics are an error.
 time-series document (``--timeseries`` on the experiments CLI) as
 terminal sparklines plus a latency-sketch quantile table; invalid
 documents exit 1.
+
+``python -m repro.telemetry flame PROFILE.json`` renders a speedscope
+host-profile export (``--hostprof`` on the experiments CLI) as a
+terminal top-N bucket view; the document is schema-validated first,
+so CI can use this as the flamegraph artifact's validity gate.
+
+``watch`` and ``flame`` auto-detect dumb/non-UTF-8 terminals and fall
+back to ASCII glyphs; ``--ascii`` forces the fallback.
 """
 
 from __future__ import annotations
@@ -31,6 +39,9 @@ import typing
 from repro.telemetry.bench import (
     DEFAULT_THRESHOLD,
     compare as compare_bench,
+    compare_payload,
+    has_host_metrics,
+    host_conflicts,
     load_bench,
     merge_reports,
     provenance_conflicts,
@@ -38,9 +49,15 @@ from repro.telemetry.bench import (
     write_bench,
 )
 from repro.telemetry.export import load_spanlog, validate_perfetto
+from repro.telemetry.hostprof import (
+    load_speedscope,
+    render_flame,
+    validate_speedscope,
+)
 from repro.telemetry.timeseries import (
     load_timeseries,
     render_watch,
+    supports_unicode,
     validate_timeseries,
 )
 
@@ -85,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="relative change flagged as a regression "
              f"(default {DEFAULT_THRESHOLD:.0%})")
+    compare.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the delta payload as JSON (same exit codes)")
     merge = sub.add_parser(
         "merge",
         help="fold per-shard BENCH_*.json fragments into one report")
@@ -99,7 +119,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sparkline width in cells (default 60)")
     watch.add_argument("--heat", action="store_true",
                        help="density shading instead of sparklines")
+    watch.add_argument("--ascii", action="store_true", dest="force_ascii",
+                       help="force ASCII glyphs (auto-detected for "
+                            "dumb/non-UTF-8 terminals)")
+    flame = sub.add_parser(
+        "flame",
+        help="render a speedscope host profile as a terminal top-N view")
+    flame.add_argument("profile",
+                       help="speedscope JSON from --hostprof")
+    flame.add_argument("--top", type=int, default=20,
+                       help="number of buckets to show (default 20)")
+    flame.add_argument("--width", type=int, default=40,
+                       help="bar width in cells (default 40)")
+    flame.add_argument("--ascii", action="store_true", dest="force_ascii",
+                       help="force ASCII glyphs (auto-detected for "
+                            "dumb/non-UTF-8 terminals)")
     return parser
+
+
+def _use_ascii(args: argparse.Namespace) -> bool:
+    return bool(args.force_ascii) or not supports_unicode()
 
 
 def _run_watch(args: argparse.Namespace) -> int:
@@ -114,10 +153,30 @@ def _run_watch(args: argparse.Namespace) -> int:
             print(f"{args.results}: {problem}", file=sys.stderr)
         return 1
     try:
-        print(render_watch(document, width=args.width, heat=args.heat))
+        print(render_watch(document, width=args.width, heat=args.heat,
+                           ascii_=_use_ascii(args)))
     except BrokenPipeError:
         # Piped into `head` and the reader closed early; exit quietly
         # (redirect stdout so the interpreter's exit flush stays calm).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def _run_flame(args: argparse.Namespace) -> int:
+    try:
+        document = load_speedscope(args.profile)
+    except (OSError, json.JSONDecodeError, ValueError) as error:
+        print(f"unreadable speedscope profile: {error}", file=sys.stderr)
+        return 1
+    problems = validate_speedscope(document)
+    if problems:
+        for problem in problems:
+            print(f"{args.profile}: {problem}", file=sys.stderr)
+        return 1
+    try:
+        print(render_flame(document, top=args.top, width=args.width,
+                           ascii_=_use_ascii(args)))
+    except BrokenPipeError:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
@@ -149,12 +208,27 @@ def _run_compare(args: argparse.Namespace) -> int:
         for conflict in conflicts:
             print(f"  {conflict}", file=sys.stderr)
         return 2
+    # Host mismatches warn rather than refuse: simulated metrics stay
+    # comparable across machines, but host_ns.* deltas would be noise.
+    warnings: typing.List[str] = []
+    if has_host_metrics(baseline, candidate):
+        warnings = [
+            f"host_ns.* metrics compared across differing hosts — "
+            f"treat their deltas as advisory ({conflict})"
+            for conflict in host_conflicts(baseline, candidate)]
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     result = compare_bench(baseline, candidate,
                            threshold=args.threshold)
-    base_sha = baseline.provenance.get("git_sha", "?")
-    cand_sha = candidate.provenance.get("git_sha", "?")
-    print(f"baseline {base_sha} -> candidate {cand_sha}")
-    print(render_compare(result))
+    if args.as_json:
+        print(json.dumps(compare_payload(result, baseline, candidate,
+                                         warnings),
+                         indent=2, sort_keys=True))
+    else:
+        base_sha = baseline.provenance.get("git_sha", "?")
+        cand_sha = candidate.provenance.get("git_sha", "?")
+        print(f"baseline {base_sha} -> candidate {cand_sha}")
+        print(render_compare(result))
     return 1 if result.regressions else 0
 
 
@@ -166,6 +240,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         return _run_merge(args)
     if args.command == "watch":
         return _run_watch(args)
+    if args.command == "flame":
+        return _run_flame(args)
     problems: typing.List[str] = []
     try:
         with open(args.trace, encoding="utf-8") as handle:

@@ -137,6 +137,21 @@ def git_sha(repo_root: typing.Union[str, pathlib.Path, None] = None,
     return sha if out.returncode == 0 and sha else "unknown"
 
 
+def host_environment() -> typing.Dict[str, typing.Any]:
+    """The host machine identity relevant to wall-clock metrics.
+
+    Stamped into every provenance block so ``host_ns.*`` comparisons
+    across machines can *warn* (see :func:`host_conflicts`) instead of
+    silently diffing numbers measured on different silicon.
+    """
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
 def collect_provenance(
         scale: float | None = None,
         seed: int | None = None,
@@ -155,6 +170,7 @@ def collect_provenance(
         datetime.datetime.now(
             datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "python": platform.python_version(),
+        "host": host_environment(),
     }
     if scale is not None:
         provenance["scale"] = scale
@@ -301,6 +317,39 @@ def provenance_conflicts(
     return conflicts
 
 
+#: Metric-name prefix whose values are host wall-clock (machine-bound).
+HOST_METRIC_PREFIX = "host_ns."
+
+
+def host_conflicts(baseline: BenchReport,
+                   candidate: BenchReport) -> typing.List[str]:
+    """Host-environment mismatches between two reports.
+
+    Unlike :func:`provenance_conflicts` these never *refuse* a compare
+    — simulated metrics are machine-independent — but ``host_ns.*``
+    deltas across different machines are weather, not signal, so the
+    CLI surfaces these as warnings when such metrics are present.
+    Only keys recorded in *both* ``host`` blocks can conflict.
+    """
+    base = baseline.provenance.get("host")
+    cand = candidate.provenance.get("host")
+    if not isinstance(base, dict) or not isinstance(cand, dict):
+        return []
+    conflicts = []
+    for key in sorted(set(base) & set(cand)):
+        if base[key] != cand[key]:
+            conflicts.append(
+                f"host {key}: baseline {base[key]!r} vs "
+                f"candidate {cand[key]!r}")
+    return conflicts
+
+
+def has_host_metrics(*reports: BenchReport) -> bool:
+    """Whether any report carries ``host_ns.*`` wall-clock metrics."""
+    return any(name.startswith(HOST_METRIC_PREFIX)
+               for report in reports for name in report.metrics)
+
+
 @dataclasses.dataclass
 class MetricDelta:
     """One metric's movement between baseline and candidate."""
@@ -402,3 +451,38 @@ def render_compare(result: CompareResult) -> str:
         f"{result.threshold:.0%} threshold; "
         f"{len(result.missing)} missing, {len(result.added)} new")
     return "\n".join(lines)
+
+
+def compare_payload(
+        result: CompareResult, baseline: BenchReport,
+        candidate: BenchReport,
+        warnings: typing.Optional[typing.Sequence[str]] = None,
+) -> typing.Dict[str, typing.Any]:
+    """The comparison as a machine-readable document (``compare --json``).
+
+    The same delta data :func:`render_compare` prints, shaped for CI
+    post-processing; infinities serialize as strings so the document
+    stays strict JSON.
+    """
+    def finite(value: float) -> typing.Union[float, str]:
+        return value if math.isfinite(value) else repr(value)
+
+    return {
+        "schema": "repro.bench-compare/1",
+        "baseline_sha": baseline.provenance.get("git_sha", "?"),
+        "candidate_sha": candidate.provenance.get("git_sha", "?"),
+        "threshold": result.threshold,
+        "deltas": [
+            {"name": delta.name, "baseline": delta.baseline,
+             "candidate": delta.candidate, "better": delta.better,
+             "unit": delta.unit,
+             "relative_change": finite(delta.relative_change),
+             "verdict": delta.verdict}
+            for delta in result.deltas
+        ],
+        "missing": list(result.missing),
+        "added": list(result.added),
+        "regressions": len(result.regressions),
+        "improvements": len(result.improvements),
+        "warnings": list(warnings) if warnings else [],
+    }

@@ -252,15 +252,55 @@ def _timeseries_section(document: typing.Mapping[str, typing.Any]) -> str:
     return "".join(parts)
 
 
+def _hostprof_section(payload: typing.Mapping[str, typing.Any]) -> str:
+    """Host wall-clock buckets from a ``HostProfiler.to_payload()``."""
+    buckets = payload.get("buckets", [])
+    total = sum(int(entry[1]) for entry in buckets) or 1
+    counts = {tuple(raw): int(count)
+              for raw, count in payload.get("bucket_counts", [])}
+    dispatches = sum(int(v)
+                     for v in payload.get("dispatches", {}).values())
+    schedules = sum(int(v)
+                    for v in payload.get("schedules", {}).values())
+    parts = [f"<h2>host profile</h2><p class='meta'>"
+             f"{dispatches} dispatches · {schedules} schedules · "
+             f"{payload.get('runs', 0)} run(s) · "
+             f"{_fmt_ns(float(total))} attributed host time</p>"]
+    rows = []
+    ranked = sorted(buckets, key=lambda entry: (-int(entry[1]), entry[0]))
+    for raw_key, host_ns in ranked[:24]:
+        share = int(host_ns) / total
+        rows.append(
+            f"<tr><td>{html.escape(' / '.join(raw_key))}</td>"
+            f"<td>{_fmt_ns(float(host_ns))}</td>"
+            f"<td>{share:.1%}</td>"
+            f"<td>{counts.get(tuple(raw_key), 0)}</td>"
+            f"<td style='text-align:left'>"
+            f"<span class='bar' "
+            f"style='width:{min(share, 1.0) * 20:.2f}rem'></span>"
+            f"</td></tr>")
+    parts.append("<table><tr><th>bucket</th><th>host time</th>"
+                 "<th>share</th><th>dispatches</th><th></th></tr>"
+                 + "".join(rows) + "</table>")
+    dropped = len(ranked) - 24
+    if dropped > 0:
+        parts.append(f"<p class='meta'>... {dropped} more bucket(s)</p>")
+    return "".join(parts)
+
+
 def render_html(profiles: typing.Sequence[ExperimentProfile],
                 title: str = "repro experiment profiles",
                 timeseries: typing.Optional[
+                    typing.Mapping[str, typing.Any]] = None,
+                hostprof: typing.Optional[
                     typing.Mapping[str, typing.Any]] = None) -> str:
     """Self-contained HTML dashboard for one or more experiments.
 
     ``timeseries`` takes an exported timeseries document (the dict
     shape written by :func:`repro.telemetry.timeseries.write_timeseries`)
-    and appends a windowed-series + latency-sketch section.
+    and appends a windowed-series + latency-sketch section;
+    ``hostprof`` takes a :meth:`HostProfiler.to_payload` dict and
+    appends a host wall-clock bucket table.
     """
     sections = []
     for profile in profiles:
@@ -304,6 +344,8 @@ def render_html(profiles: typing.Sequence[ExperimentProfile],
 """)
     if timeseries is not None:
         sections.append(_timeseries_section(timeseries))
+    if hostprof is not None:
+        sections.append(_hostprof_section(hostprof))
     body = "".join(sections) if sections else "<p>no captures</p>"
     return (f"<!DOCTYPE html><html><head><meta charset='utf-8'>"
             f"<title>{html.escape(title)}</title>"

@@ -39,6 +39,7 @@ from repro.sim.stats import (
     LatencySketch,
     TimeSeries,
 )
+from repro.telemetry.hostprof import HostProfiler
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import RecordingTracer, Span
 
@@ -92,6 +93,25 @@ class TracerFragment:
         return len(self.spans) + len(self.instants)
 
 
+@dataclasses.dataclass
+class HostProfFragment:
+    """One worker host-profiler's record, ready to pickle and merge.
+
+    The payload is :meth:`repro.telemetry.hostprof.HostProfiler.
+    to_payload` — integer bucket sums and census counts plus the
+    batch-size sample list, so merging is associative (any grouping of
+    fragments folds to the same totals) and, merged in cell-key order,
+    reproduces a serial run's census byte-for-byte.  Host nanoseconds
+    legitimately differ between serial and sharded runs (different
+    host work happened); only the census is parity-exact.
+    """
+
+    payload: typing.Dict[str, typing.Any]
+
+    def __len__(self) -> int:
+        return len(self.payload.get("buckets", []))
+
+
 # ----------------------------------------------------------------------
 # Capture (worker side)
 # ----------------------------------------------------------------------
@@ -127,6 +147,11 @@ def capture_tracer(tracer: RecordingTracer) -> TracerFragment:
         instants=list(tracer.instants),
         commands=list(tracer.commands),
         kernel_events=list(tracer.kernel_events))
+
+
+def capture_hostprof(profiler: HostProfiler) -> HostProfFragment:
+    """Snapshot ``profiler`` into a picklable fragment."""
+    return HostProfFragment(payload=profiler.to_payload())
 
 
 # ----------------------------------------------------------------------
@@ -200,3 +225,13 @@ def merge_tracer(target: RecordingTracer,
     target.kernel_events.extend(fragment.kernel_events)
     # Re-seat the target's counter past the ids just claimed.
     target._ids = itertools.count(base + len(fragment) + 1)
+
+
+def merge_hostprof(target: HostProfiler,
+                   fragment: HostProfFragment) -> None:
+    """Fold one host-profile fragment into ``target``.
+
+    Pure integer sums plus batch-sample concatenation — associative,
+    and in cell-key order it reproduces the serial census exactly.
+    """
+    target.merge(HostProfiler.from_payload(fragment.payload))

@@ -41,6 +41,8 @@ from __future__ import annotations
 import csv
 import json
 import math
+import os
+import sys
 import typing
 
 from repro.sim.sampling import SamplerHook
@@ -315,35 +317,65 @@ def validate_timeseries(document: typing.Dict[str, typing.Any]
 # ----------------------------------------------------------------------
 _SPARK = "▁▂▃▄▅▆▇█"
 _HEAT = " ░▒▓█"
+#: ASCII fallbacks (same level counts) for dumb/non-UTF-8 terminals.
+_SPARK_ASCII = "_.-:=+*#"
+_HEAT_ASCII = " .:*#"
 
 
-def sparkline(values: typing.Sequence[float], width: int = 60) -> str:
-    """A unicode sparkline of ``values``, resampled to ``width`` cells."""
+def supports_unicode(stream: typing.Optional[typing.TextIO] = None) -> bool:
+    """Whether ``stream`` (stdout by default) can show the block glyphs.
+
+    ``TERM=dumb`` or an encoding that cannot represent the sparkline
+    alphabet (e.g. a C-locale pipe) means the unicode renderings would
+    come out as mojibake or raise; callers fall back to ASCII glyphs.
+    """
+    if os.environ.get("TERM") == "dumb":
+        return False
+    if stream is None:
+        stream = sys.stdout
+    encoding = getattr(stream, "encoding", None) or "ascii"
+    try:
+        (_SPARK + _HEAT).encode(encoding)
+    except (UnicodeEncodeError, LookupError):
+        return False
+    return True
+
+
+def sparkline(values: typing.Sequence[float], width: int = 60,
+              ascii_: bool = False) -> str:
+    """A sparkline of ``values``, resampled to ``width`` cells.
+
+    ``ascii_`` swaps the unicode block glyphs for ASCII ramps (same
+    number of levels) on terminals :func:`supports_unicode` rejects.
+    """
+    glyphs = _SPARK_ASCII if ascii_ else _SPARK
     if not values:
         return ""
     cells = _resample(values, width)
     lo, hi = min(cells), max(cells)
     span = hi - lo
     if span <= 0:
-        return _SPARK[0] * len(cells)
+        return glyphs[0] * len(cells)
     return "".join(
-        _SPARK[min(len(_SPARK) - 1,
-                   int((value - lo) / span * len(_SPARK)))]
+        glyphs[min(len(glyphs) - 1,
+                   int((value - lo) / span * len(glyphs)))]
         for value in cells)
 
 
-def heatline(values: typing.Sequence[float], width: int = 60) -> str:
+def heatline(values: typing.Sequence[float], width: int = 60,
+             ascii_: bool = False) -> str:
     """Density shading of ``values`` — reads as a one-row heatmap."""
+    glyphs = _HEAT_ASCII if ascii_ else _HEAT
     if not values:
         return ""
     cells = _resample(values, width)
     lo, hi = min(cells), max(cells)
     span = hi - lo
     if span <= 0:
-        return _HEAT[0] * len(cells)
+        return glyphs[0] * len(cells)
     return "".join(
-        _HEAT[min(len(_HEAT) - 1,
-                  int((value - lo) / span * len(_HEAT)))]
+        glyphs[min(len(glyphs) - 1,
+                  int((value - lo) / span * len(glyphs)))]
         for value in cells)
 
 
@@ -361,7 +393,8 @@ def _resample(values: typing.Sequence[float],
 
 
 def render_watch(document: typing.Dict[str, typing.Any],
-                 width: int = 60, heat: bool = False) -> str:
+                 width: int = 60, heat: bool = False,
+                 ascii_: bool = False) -> str:
     """The terminal view: one sparkline per series + quantile table."""
     lines: typing.List[str] = []
     series = document.get("series", {})
@@ -373,7 +406,7 @@ def render_watch(document: typing.Dict[str, typing.Any],
     for name in sorted(series):
         values = series[name]["v"]
         lines.append(
-            f"  {name:<{name_width}}  {render(values, width)}  "
+            f"  {name:<{name_width}}  {render(values, width, ascii_)}  "
             f"min={min(values):g} max={max(values):g} "
             f"last={values[-1]:g}" if values else
             f"  {name:<{name_width}}  (empty)")
