@@ -52,6 +52,7 @@ def _provenance():
     # diff reports whose stamps disagree.
     provenance["sketch"] = DEFAULT_SKETCH_LAYOUT.spec()
     provenance["timeseries_window_ns"] = DEFAULT_WINDOW_NS
+    provenance["backend"] = BENCH_CONFIG.backend
     return provenance
 
 

@@ -11,16 +11,20 @@ here.
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 from repro.controller.request import MemoryRequest, Op
 from repro.pram.address import AddressMap, PramAddress
+from repro.pram.errors import AddressError
 
 
-@dataclasses.dataclass
-class ChunkPlan:
-    """One row-sized slice of a memory request."""
+class ChunkPlan(typing.NamedTuple):
+    """One row-sized slice of a memory request.
+
+    A named tuple for the same reason as
+    :class:`~repro.pram.address.PramAddress`: one per chunk on the
+    planning hot path, never mutated after construction.
+    """
 
     request: MemoryRequest
     address: PramAddress
@@ -110,24 +114,67 @@ class AccessPlanner:
         self._next_buffer: typing.Dict[typing.Tuple[int, int], int] = {}
 
     def plan(self, request: MemoryRequest) -> typing.List[ChunkPlan]:
-        """Decompose ``request`` into ordered row-sized chunks."""
-        geometry = self.address_map.geometry
-        chunks = []
-        for address, offset, size in self.address_map.iter_rows(
-                request.address, request.size):
-            module_key = (address.channel, address.module)
-            buffer_id = self._next_buffer.get(module_key, 0)
-            self._next_buffer[module_key] = (
-                (buffer_id + 1) % geometry.rdb_count
-            )
-            chunks.append(ChunkPlan(
-                request=request,
-                address=address,
-                offset=offset,
-                size=size,
-                buffer_id=buffer_id,
-            ))
-        return chunks
+        """Decompose ``request`` into ordered row-sized chunks.
+
+        Only the first chunk goes through
+        :meth:`~repro.pram.address.AddressMap.decompose`; successive
+        row-aligned chunks advance the device coordinates incrementally
+        (module, then channel, then partition, then row — the stripe
+        order), which avoids re-dividing the flat address on every
+        chunk of this hot path.
+        """
+        address_map = self.address_map
+        geometry = address_map.geometry
+        chunks: typing.List[ChunkPlan] = []
+        size = request.size
+        if size <= 0:
+            # Preserve iter_rows semantics: negative sizes raise, zero
+            # yields no chunks.
+            for _ in address_map.iter_rows(request.address, size):
+                pass  # pragma: no cover - iter_rows raises or is empty
+            return chunks
+        row_bytes = geometry.row_bytes
+        modules = geometry.modules_per_channel
+        channel_count = geometry.channels
+        partitions = geometry.partitions_per_bank
+        rows = geometry.rows_per_partition
+        rdb_count = geometry.rdb_count
+        next_buffer = self._next_buffer
+        address = address_map.decompose(request.address)
+        channel, module, partition, row, column = address
+        cursor = request.address
+        produced = 0
+        while True:
+            chunk = row_bytes - column
+            remaining = size - produced
+            if remaining < chunk:
+                chunk = remaining
+            module_key = (channel, module)
+            buffer_id = next_buffer.get(module_key, 0)
+            next_buffer[module_key] = (buffer_id + 1) % rdb_count
+            chunks.append(
+                ChunkPlan(request, address, produced, chunk, buffer_id))
+            produced += chunk
+            if produced >= size:
+                return chunks
+            cursor += chunk
+            module += 1
+            if module == modules:
+                module = 0
+                channel += 1
+                if channel == channel_count:
+                    channel = 0
+                    partition += 1
+                    if partition == partitions:
+                        partition = 0
+                        row += 1
+                        if row == rows:
+                            raise AddressError(
+                                f"address {cursor:#x} beyond capacity "
+                                f"{geometry.total_bytes:#x}"
+                            )
+            column = 0
+            address = PramAddress(channel, module, partition, row, 0)
 
     def chunks_by_channel(self, request: MemoryRequest) -> typing.Dict[
             int, typing.List[ChunkPlan]]:

@@ -44,6 +44,7 @@ import typing
 
 from repro.controller.request import reset_request_ids
 from repro.experiments import parallel, runner
+from repro.sim import BACKENDS, use_backend
 from repro.sim.hostprof import use_hostprof
 from repro.telemetry import (
     DEFAULT_WINDOW_NS,
@@ -130,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="trace seed (default 1)")
     run_parser.add_argument("--quick", action="store_true",
                             help="tiny two-workload configuration")
+    run_parser.add_argument("--backend", choices=list(BACKENDS),
+                            default="interpreted",
+                            help="execution backend: 'compiled' runs "
+                                 "eligible request streams through the "
+                                 "flat-loop kernel (byte-identical "
+                                 "results, recorded fallbacks); default "
+                                 "'interpreted'")
     run_parser.add_argument("--faults", metavar="PLAN", default=None,
                             help="seeded fault-injection plan as "
                                  "key=value,... (e.g. 'seed=7,"
@@ -196,12 +204,14 @@ def normalize_argv(
 
 def config_from_args(args: argparse.Namespace) -> runner.ExperimentConfig:
     """Translate CLI flags into an ExperimentConfig."""
+    backend = getattr(args, "backend", "interpreted")
     if args.quick:
         return runner.ExperimentConfig(
             scale=0.05, seed=args.seed, agents=3,
-            workloads=("gemver", "doitg"), faults=args.faults)
+            workloads=("gemver", "doitg"), faults=args.faults,
+            backend=backend)
     return runner.ExperimentConfig(scale=args.scale, seed=args.seed,
-                                   faults=args.faults)
+                                   faults=args.faults, backend=backend)
 
 
 def _run_sharded(chosen: typing.List[str],
@@ -308,7 +318,9 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                     overlap_counter = telemetry.metrics.counter(
                         "sched.interleave.overlap_ns")
                     overlap_before = overlap_counter.value
-                    with telemetry.activate(), telemetry.tracer.scope(name):
+                    with telemetry.activate(), \
+                            telemetry.tracer.scope(name), \
+                            use_backend(config.backend):
                         report = run_fn(config)
                     if want_spans:
                         # The counter is cumulative across experiments;
@@ -319,7 +331,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                             overlap_total_ns=(overlap_counter.value
                                               - overlap_before)))
                 else:
-                    report = run_fn(config)
+                    with use_backend(config.backend):
+                        report = run_fn(config)
                 reports[name] = report
                 print(report)
                 print()

@@ -75,14 +75,8 @@ def _run_policy(policy: SchedulerPolicy,
         sim = Simulator()
         subsystem = PramSubsystem(sim, geometry=_GEOMETRY, policy=policy)
     requests = _requests(request_count)
-
-    def driver():
-        pending = [sim.process(subsystem.submit(r)) for r in requests]
-        yield sim.all_of(pending)
-
-    sim.process(driver())
     with sim.tracer.scope(f"fig12:{policy.value}"):
-        sim.run()
+        subsystem.run_stream(requests, mode="open")
     overlap_ns = sum(channel.overlap_ns for channel in subsystem.channels)
     return [request.complete_time for request in requests], overlap_ns
 
@@ -101,25 +95,17 @@ def _phase_skip_demo(request_count: int) -> typing.Dict[str, float]:
                                   policy=SchedulerPolicy.INTERLEAVING)
     first = _requests(request_count)
     second = _requests(request_count)
-
-    def driver():
-        pending = [sim.process(subsystem.submit(r)) for r in first]
-        yield sim.all_of(pending)
-        mark = sim.now
-        pending = [sim.process(subsystem.submit(r)) for r in second]
-        yield sim.all_of(pending)
-        timings["second_wave_ns"] = sim.now - mark
-
-    timings: typing.Dict[str, float] = {}
-    sim.process(driver())
     with sim.tracer.scope("fig12:phase-skip"):
-        sim.run()
+        subsystem.run_stream(first, mode="open")
+        mark = sim.now
+        subsystem.run_stream(second, mode="open")
+        second_wave_ns = sim.now - mark
     channel = subsystem.channels[0]
     return {
         "rab_hits": float(channel.rab_hits),
         "rdb_hits": float(channel.rdb_hits),
         "first_wave_ns": max(r.complete_time for r in first),
-        "second_wave_ns": timings["second_wave_ns"],
+        "second_wave_ns": second_wave_ns,
     }
 
 

@@ -14,6 +14,7 @@ import typing
 
 from repro.accel import AcceleratorConfig
 from repro.controller.request import reset_request_ids
+from repro.sim import use_backend
 from repro.systems import SystemConfig, build_system
 from repro.systems.base import ExecutionResult
 from repro.workloads import all_workloads, generate_traces, workload
@@ -47,6 +48,12 @@ class ExperimentConfig:
     #: fault-free.  Kept as the raw string so the config stays
     #: trivially hashable for the parallel runner's cache key.
     faults: typing.Optional[str] = None
+    #: Execution backend every cell runs under ("interpreted" or
+    #: "compiled").  Part of the config, so it enters the parallel
+    #: runner's content-addressed cache key: a compiled rerun never
+    #: replays an interpreted entry (and vice versa), even though the
+    #: two are byte-identical by contract.
+    backend: str = "interpreted"
 
     def system_config(self) -> SystemConfig:
         """SystemConfig this experiment runs under."""
@@ -119,16 +126,17 @@ def run_matrix(config: ExperimentConfig,
             config, systems, chosen, jobs=jobs, cache_dir=cache_dir).matrix
     system_config = config.system_config()
     matrix: typing.Dict[str, typing.Dict[str, ExecutionResult]] = {}
-    for workload_name in chosen:
-        bundle = config.bundle(workload_name)
-        row = {}
-        for system_name in systems:
-            # Cell-local request numbering: parallel workers reset at
-            # the same boundary, so span ``req`` tags match exactly.
-            reset_request_ids()
-            system = build_system(system_name, system_config)
-            row[system_name] = system.run(bundle)
-        matrix[workload_name] = row
+    with use_backend(config.backend):
+        for workload_name in chosen:
+            bundle = config.bundle(workload_name)
+            row = {}
+            for system_name in systems:
+                # Cell-local request numbering: parallel workers reset at
+                # the same boundary, so span ``req`` tags match exactly.
+                reset_request_ids()
+                system = build_system(system_name, system_config)
+                row[system_name] = system.run(bundle)
+            matrix[workload_name] = row
     return matrix
 
 

@@ -21,16 +21,21 @@ the activate command).
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 from repro.pram.constants import PramGeometry
 from repro.pram.errors import AddressError
 
 
-@dataclasses.dataclass(frozen=True, order=True)
-class PramAddress:
-    """A fully decomposed PRAM location."""
+class PramAddress(typing.NamedTuple):
+    """A fully decomposed PRAM location.
+
+    A named tuple rather than a dataclass: one is built per row chunk
+    on the hot decompose path, and tuple construction is several times
+    cheaper than frozen-dataclass ``__setattr__``.  Field order gives
+    the same lexicographic comparison the old ``order=True`` dataclass
+    had.
+    """
 
     channel: int
     module: int
@@ -48,24 +53,36 @@ class AddressMap:
 
     def __init__(self, geometry: PramGeometry | None = None) -> None:
         self.geometry = geometry or PramGeometry()
+        # Derived strides are immutable once the geometry is fixed; the
+        # decompose path is hot enough (one call per 32-byte chunk) that
+        # re-deriving them through the geometry properties shows up in
+        # profiles.
+        geo = self.geometry
+        self._row_bytes = geo.row_bytes
+        self._modules = geo.modules_per_channel
+        self._channels = geo.channels
+        self._partitions = geo.partitions_per_bank
+        self._rows = geo.rows_per_partition
+        self._total_bytes = geo.total_bytes
+        self._lower_bits = geo.lower_row_bits
+        self._lower_mask = (1 << geo.lower_row_bits) - 1
 
     def decompose(self, flat: int) -> PramAddress:
         """Split a flat byte address into device coordinates."""
-        geo = self.geometry
         if flat < 0:
             raise AddressError(f"negative address: {flat}")
-        if flat >= geo.total_bytes:
+        if flat >= self._total_bytes:
             raise AddressError(
-                f"address {flat:#x} beyond capacity {geo.total_bytes:#x}"
+                f"address {flat:#x} beyond capacity {self._total_bytes:#x}"
             )
-        column = flat % geo.row_bytes
-        rest = flat // geo.row_bytes
-        module = rest % geo.modules_per_channel
-        rest //= geo.modules_per_channel
-        channel = rest % geo.channels
-        rest //= geo.channels
-        partition = rest % geo.partitions_per_bank
-        row = rest // geo.partitions_per_bank
+        column = flat % self._row_bytes
+        rest = flat // self._row_bytes
+        module = rest % self._modules
+        rest //= self._modules
+        channel = rest % self._channels
+        rest //= self._channels
+        partition = rest % self._partitions
+        row = rest // self._partitions
         return PramAddress(channel, module, partition, row, column)
 
     def compose(self, address: PramAddress) -> int:
@@ -80,11 +97,9 @@ class AddressMap:
 
     def split_row(self, row: int) -> typing.Tuple[int, int]:
         """Split a row index into (upper, lower) three-phase parts."""
-        geo = self.geometry
-        if not 0 <= row < geo.rows_per_partition:
+        if not 0 <= row < self._rows:
             raise AddressError(f"row {row} out of range")
-        mask = (1 << geo.lower_row_bits) - 1
-        return row >> geo.lower_row_bits, row & mask
+        return row >> self._lower_bits, row & self._lower_mask
 
     def join_row(self, upper: int, lower: int) -> int:
         """Recompose a row index from its (upper, lower) parts."""
@@ -112,12 +127,12 @@ class AddressMap:
         """
         if size < 0:
             raise AddressError(f"negative size: {size}")
-        geo = self.geometry
+        row_bytes = self._row_bytes
         cursor = flat
         produced = 0
         while produced < size:
             address = self.decompose(cursor)
-            chunk = min(geo.row_bytes - address.column, size - produced)
+            chunk = min(row_bytes - address.column, size - produced)
             yield address, produced, chunk
             produced += chunk
             cursor += chunk

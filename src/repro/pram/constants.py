@@ -8,6 +8,7 @@ Table II expresses in cycles are converted through tCK.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 #: LPDDR2-NVM interface clock period at 400 MHz (Table II: tCK = 2.5 ns).
 TCK_NS = 2.5
@@ -115,44 +116,44 @@ class PramGeometry:
         if self.row_bytes % self.word_bytes:
             raise ValueError("row_bytes must be a multiple of word_bytes")
 
-    @property
+    @functools.cached_property
     def partition_bytes(self) -> int:
         """Capacity of one partition."""
         bits = (self.tiles_per_partition * self.bitlines_per_tile
                 * self.wordlines_per_tile)
         return bits // 8
 
-    @property
+    @functools.cached_property
     def rows_per_partition(self) -> int:
         """Number of 32-byte rows in one partition."""
         return self.partition_bytes // self.row_bytes
 
-    @property
+    @functools.cached_property
     def module_bytes(self) -> int:
         """Capacity of one module (one bank)."""
         return self.partition_bytes * self.partitions_per_bank
 
-    @property
+    @functools.cached_property
     def channel_bytes(self) -> int:
         """Capacity of one channel."""
         return self.module_bytes * self.modules_per_channel
 
-    @property
+    @functools.cached_property
     def total_bytes(self) -> int:
         """Capacity of the whole subsystem."""
         return self.channel_bytes * self.channels
 
-    @property
+    @functools.cached_property
     def words_per_row(self) -> int:
         """Program units per row."""
         return self.row_bytes // self.word_bytes
 
-    @property
+    @functools.cached_property
     def row_address_bits(self) -> int:
         """Bits needed to address a row within a partition."""
         return max(1, (self.rows_per_partition - 1).bit_length())
 
-    @property
+    @functools.cached_property
     def upper_row_bits(self) -> int:
         """Row bits carried via a RAB during the pre-active phase."""
         return max(0, self.row_address_bits - self.lower_row_bits)

@@ -44,6 +44,10 @@ class PramModule:
         self._tracer = current_tracer()
         self.buffers = RowBufferSet(geometry.rdb_count, geometry.row_bytes)
         self.window = ow.OverlayWindow()
+        # Shared blank row for never-written locations: bytes are
+        # immutable, so one allocation serves every miss on the
+        # per-chunk read path.
+        self._blank_row = bytes(geometry.row_bytes)
         self._storage: typing.Dict[typing.Tuple[int, int], bytes] = {}
         self._cells = [WordStateTracker(geometry.words_per_row)
                        for _ in range(geometry.partitions_per_bank)]
@@ -181,6 +185,66 @@ class PramModule:
                 data = apply_bit_flips(data, bits)
                 self._read_fault = bits
         return finish, data
+
+    # ------------------------------------------------------------------
+    # Compiled-backend state halves (repro.sim.compiled)
+    # ------------------------------------------------------------------
+    # The compiled kernel computes the read-phase *schedule* in batch
+    # (timing tables, no per-event dispatch) and then applies the same
+    # device-state transitions the timed entry points above would have
+    # made, in the same order.  Each method below is the state half of
+    # exactly one timed operation; validation and counters match so a
+    # compiled run leaves the module byte-identical to an interpreted
+    # one.
+
+    def latch_rab(self, buffer_id: int, upper_row: int) -> None:
+        """State half of :meth:`pre_active`."""
+        if upper_row < 0 or upper_row >= (
+                1 << max(1, self.geometry.upper_row_bits)):
+            raise AddressError(f"upper row {upper_row} out of range")
+        self.buffers.load_rab(buffer_id, upper_row)
+
+    def latch_rdb(self, buffer_id: int, partition: int, lower_row: int,
+                  busy_until: float) -> None:
+        """State half of :meth:`activate`.
+
+        The caller supplies the precomputed partition-busy horizon
+        (``max(start, partition_ready_at) + tRCD``) instead of going
+        through :meth:`_occupy`; injected stalls are a fallback
+        condition for the compiled backend, never priced here.
+        """
+        self._check_partition(partition)
+        buffers = self.buffers
+        pair = buffers.pair(buffer_id)
+        if not pair.rab_valid:
+            raise ProtocolError(
+                f"activate on buffer {buffer_id} before any pre-active"
+            )
+        row = self._compose_row(pair.upper_row, lower_row)
+        self._partition_busy_until[partition] = busy_until
+        # load_rdb() unrolled onto the pair we already fetched; the
+        # length check is vacuous here because _read_row always
+        # returns exactly one row.
+        pair.partition = partition
+        pair.row = row
+        pair.data = self._read_row(partition, row)
+        pair.rdb_valid = True
+        buffers._touch(pair)
+
+    def stream_rdb(self, buffer_id: int, column: int, size: int) -> bytes:
+        """State half of :meth:`read_burst` (fault-free configurations)."""
+        pair = self.buffers.pair(buffer_id)
+        if not pair.rdb_valid or pair.data is None:
+            raise BufferMissError(
+                f"read burst on buffer {buffer_id} with no valid RDB"
+            )
+        if column < 0 or column + size > self.geometry.row_bytes:
+            raise AddressError(
+                f"burst [{column}, {column + size}) exceeds the "
+                f"{self.geometry.row_bytes}-byte row buffer"
+            )
+        self.reads += 1
+        return pair.data[column:column + size]
 
     # ------------------------------------------------------------------
     # Write path: overlay window + program buffer
@@ -358,8 +422,7 @@ class PramModule:
     def _read_row(self, partition: int, row: int) -> bytes:
         if row < 0 or row >= self.geometry.rows_per_partition:
             raise AddressError(f"row {row} out of range")
-        blank = bytes(self.geometry.row_bytes)
-        return self._storage.get((partition, row), blank)
+        return self._storage.get((partition, row), self._blank_row)
 
     def _split_window_address(self, flat: int) -> typing.Tuple[int, int, int]:
         column = flat % self.geometry.row_bytes

@@ -223,6 +223,26 @@ class Simulator:
         """Timestamp of the next scheduled event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def fast_forward(self, now: float) -> None:
+        """Advance the clock to ``now`` without processing any events.
+
+        The compiled backend (:mod:`repro.sim.compiled`) computes a
+        request batch's completion times arithmetically and then moves
+        the clock here, so interleaved interpreted phases (a later
+        ``run()``) resume from the same instant they would have reached
+        event by event.  Refuses to skip pending events or rewind:
+        both would silently desynchronize the two backends.
+        """
+        if self._heap:
+            raise RuntimeError(
+                f"fast_forward({now}) with {len(self._heap)} events "
+                "still pending — drain them with run() first")
+        if math.isnan(now) or now < self._now:
+            raise ValueError(
+                f"cannot fast-forward to {now} ns: clock already at "
+                f"{self._now} ns")
+        self._now = now
+
     def _event_label(self, event: Event) -> str:
         """Human-readable label for a processed event.
 

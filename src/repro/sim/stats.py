@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
+import functools
 import math
 import typing
 
@@ -296,17 +297,17 @@ class SketchLayout:
             raise ValueError(
                 f"need at least one sub-bucket, got {self.subbuckets}")
 
-    @property
+    @functools.cached_property
     def min_value(self) -> float:
         """Smallest value the grid resolves (lower values clamp)."""
         return float(2 ** self.min_exp)
 
-    @property
+    @functools.cached_property
     def max_value(self) -> float:
         """First value past the grid (higher values clamp)."""
         return float(2 ** self.max_exp)
 
-    @property
+    @functools.cached_property
     def bucket_count(self) -> int:
         """Total buckets on the grid."""
         return (self.max_exp - self.min_exp) * self.subbuckets
@@ -387,7 +388,12 @@ class LatencySketch:
             index = layout.bucket_count - 1
             self.clamped += 1
         else:
-            index = layout.index(value)
+            # layout.index() inlined: one sample per chunk makes this
+            # the hottest stats call in both engines.
+            mantissa, exponent = math.frexp(value)
+            subbuckets = layout.subbuckets
+            index = ((exponent - 1 - layout.min_exp) * subbuckets
+                     + int((mantissa - 0.5) * 2.0 * subbuckets))
         self._counts[index] = self._counts.get(index, 0) + 1
         self.count += 1
         if value < self.min_value:

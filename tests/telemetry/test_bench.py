@@ -177,6 +177,29 @@ def test_mismatched_sketch_layouts_conflict():
     assert "log2[0,8)x8" in conflicts[0]
 
 
+def test_mismatched_backends_conflict():
+    conflicts = provenance_conflicts(
+        _stamped(backend="interpreted"),
+        _stamped(backend="compiled"))
+    assert len(conflicts) == 1
+    assert "interpreted" in conflicts[0]
+    assert "compiled" in conflicts[0]
+
+
+def test_compare_cli_refuses_mismatched_backends(tmp_path, capsys):
+    from repro.telemetry.__main__ import main as telemetry_main
+
+    baseline = tmp_path / "baseline.json"
+    candidate = tmp_path / "candidate.json"
+    write_bench(_stamped(backend="interpreted"), baseline)
+    write_bench(_stamped(backend="compiled"), candidate)
+    assert telemetry_main(["compare", str(baseline),
+                           str(candidate)]) == 2
+    err = capsys.readouterr().err
+    assert "refusing to compare" in err
+    assert "backend: baseline 'interpreted' vs candidate 'compiled'" in err
+
+
 def test_legacy_report_without_stamp_still_compares():
     # Older baselines predate the stamps; only keys present on BOTH
     # sides can conflict, so compare keeps working across the boundary.
