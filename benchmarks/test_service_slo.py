@@ -1,0 +1,73 @@
+"""Service-layer SLO benchmark: the overload sweep at bench scale.
+
+Feeds the headline robustness metrics into the BENCH trajectory —
+goodput retention at 10x offered load, shed/timeout fractions, and
+per-class p50/p99/p999 goodput latency — and asserts the
+graceful-degradation acceptance bar: goodput under 10x overload stays
+within 20% of the saturation plateau, and a rogue tenant cannot push
+a compliant class past its latency SLO with per-tenant queues.
+"""
+
+from benchmarks.conftest import write_report
+from repro.experiments import service_sweeps
+
+
+def test_service_overload_slo(benchmark, bench_config, results_dir,
+                              bench_record):
+    result = benchmark.pedantic(
+        service_sweeps.run_overload, args=(bench_config,), rounds=1,
+        iterations=1)
+    write_report(results_dir, "service_overload",
+                 service_sweeps.report_overload(result))
+
+    plateau = max(row["result"].goodput_rps
+                  for row in result["rows"] if row["multiplier"] >= 1.0)
+    worst = result["rows"][-1]["result"]
+    retention = worst.goodput_rps / plateau if plateau > 0 else 0.0
+    totals = worst.totals()
+    offered = max(1.0, float(worst.offered))
+
+    bench_record("service.sustainable_rate_rps", result["rate_max_rps"],
+                 better="higher", unit="rps")
+    bench_record("service.goodput_retention_10x", retention,
+                 better="higher", unit="fraction")
+    bench_record("service.shed_fraction_10x", totals["shed"] / offered,
+                 better="neutral", unit="fraction")
+    bench_record("service.timeout_fraction_10x",
+                 totals["timeout"] / offered,
+                 better="lower", unit="fraction")
+    merged = worst.merged_sketch()
+    if merged.count:
+        for quantile, name in ((0.50, "p50"), (0.99, "p99"),
+                               (0.999, "p999")):
+            bench_record(f"service.goodput_{name}_ns",
+                         merged.percentile(quantile),
+                         better="lower", unit="ns")
+
+    # Acceptance: graceful degradation, not congestion collapse.
+    assert retention >= service_sweeps.COLLAPSE_THRESHOLD, (
+        f"goodput at 10x fell to {retention:.0%} of the plateau")
+    # The excess offered load is shed or expired, never silently lost.
+    assert sum(totals.values()) == worst.offered
+
+
+def test_service_tenant_isolation_slo(benchmark, bench_config,
+                                      results_dir, bench_record):
+    result = benchmark.pedantic(
+        service_sweeps.run_isolation, args=(bench_config,), rounds=1,
+        iterations=1)
+    write_report(results_dir, "service_tenant_isolation",
+                 service_sweeps.report_isolation(result))
+
+    isolated = result["arms"][0]["result"]
+    compliant = isolated.class_stats(compliant_only=True)
+    slo_met = all(stats.meets_slo for stats in compliant.values())
+    bench_record("service.isolation_slo_met", float(slo_met),
+                 better="higher", unit="bool")
+    for name, stats in compliant.items():
+        if stats.sketch.count:
+            bench_record(f"service.{name}_p99_ns", stats.p99_ns,
+                         better="lower", unit="ns")
+    # Acceptance: per-tenant queues keep every compliant class within
+    # its latency SLO despite the rogue tenant.
+    assert slo_met, service_sweeps.report_isolation(result)

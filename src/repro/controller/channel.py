@@ -620,6 +620,10 @@ class ChannelController:
                  if retirement is not None else None)
         if spare is None:
             faults.note_retire_failed()
+            # No spare left is a *permanent* failure: replaying the
+            # request hits the same worn row with the same empty spare
+            # pool, so upstream retry layers must not spend budget on it.
+            chunk.request.fault_permanent = True
             chunk.request.degrade(
                 RequestStatus.FAILED,
                 f"row {row} unrecoverable and no spare left in "

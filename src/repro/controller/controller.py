@@ -142,8 +142,8 @@ class PramSubsystem:
                 ("per-request submit() path (the compiled kernel "
                  "batches through run_stream)",)))
         request.submit_time = self.sim.now
+        self._inflight += 1
         if self._metrics_on:
-            self._inflight += 1
             self.queue_depth.record(self.sim.now, float(self._inflight))
             if self._inflight_tracker is not None:
                 self._inflight_tracker.adjust(self.sim.now, 1.0)
@@ -166,13 +166,17 @@ class PramSubsystem:
             failure = exc
         request.complete_time = self.sim.now
         if failure is not None:
+            # Device-model errors are deterministic for a given request
+            # (bad address, protocol violation): mark them permanent so
+            # the service layer's retry path never replays them.
+            request.fault_permanent = True
             request.degrade(RequestStatus.FAILED,
                             f"{type(failure).__name__}: {failure}")
         sketch = self.latency_sketches.get(request.op.value)
         if sketch is not None:
             sketch.add(request.latency)
+        self._inflight -= 1
         if self._metrics_on:
-            self._inflight -= 1
             self.queue_depth.record(self.sim.now, float(self._inflight))
             if self._inflight_tracker is not None:
                 self._inflight_tracker.adjust(self.sim.now, -1.0)
@@ -295,6 +299,36 @@ class PramSubsystem:
         self.sim.process(driver())
         self.sim.run()
         return decision
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently between submit and completion."""
+        return self._inflight
+
+    @property
+    def capacity_hint(self) -> int:
+        """Rough concurrent-request capacity of the subsystem.
+
+        One request occupies a channel's bus and module resources; the
+        subsystem overlaps roughly one request per (channel, module)
+        pair before added requests only deepen queues.  This is a
+        *hint* for backpressure normalization, not a hard limit.
+        """
+        return self.geometry.channels * self.geometry.modules_per_channel
+
+    def backpressure(self) -> float:
+        """Submit-side congestion signal in [0, 1].
+
+        The fraction of the subsystem's rough concurrency capacity
+        currently occupied by in-flight requests.  The service layer's
+        brownout controller folds this into its shed decision so the
+        front end reacts to device congestion, not just to its own
+        queue occupancy.
+        """
+        capacity = self.capacity_hint
+        if capacity <= 0:
+            return 1.0 if self._inflight else 0.0
+        return min(1.0, self._inflight / capacity)
 
     def register_write_hint(self, address: int, size: int) -> None:
         """Announce a region that will soon be overwritten.

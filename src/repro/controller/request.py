@@ -81,6 +81,12 @@ class MemoryRequest:
     done: "Event" | None = None
     status: RequestStatus = RequestStatus.OK
     error: str | None = None
+    #: True when a FAILED outcome is *permanent* — the data cannot be
+    #: placed no matter how often the request is replayed (row
+    #: unrecoverable with no spare left, device-model errors).  The
+    #: service layer's retry path consults this to avoid burning its
+    #: retry budget (and device time) on deterministic failures.
+    fault_permanent: bool = False
 
     def __post_init__(self) -> None:
         if self.size < 1:

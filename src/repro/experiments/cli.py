@@ -68,6 +68,7 @@ from repro.experiments import (
     fig18_19_ipc,
     fig20_21_power,
     reliability,
+    service_sweeps,
     tables,
 )
 
@@ -112,6 +113,18 @@ EXPERIMENTS: typing.Dict[str, typing.Tuple[str, typing.Callable]] = {
                   "(endurance sweep)",
                   lambda config: reliability.report(
                       reliability.run(config))),
+    "overload": ("Service: goodput under 0.5x-10x offered load "
+                 "(graceful degradation)",
+                 lambda config: service_sweeps.report_overload(
+                     service_sweeps.run_overload(config))),
+    "burst_absorption": ("Service: arrival processes x queue depths "
+                         "(burst absorption)",
+                         lambda config: service_sweeps.report_burst(
+                             service_sweeps.run_burst(config))),
+    "tenant_isolation": ("Service: rogue tenant vs per-tenant "
+                         "admission queues (SLO isolation)",
+                         lambda config: service_sweeps.report_isolation(
+                             service_sweeps.run_isolation(config))),
 }
 
 
@@ -143,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "key=value,... (e.g. 'seed=7,"
                                  "read_flip=0.001,program_fail=0.01,"
                                  "endurance=64'); default: fault-free")
+    run_parser.add_argument("--service", metavar="PLAN", default=None,
+                            help="service-layer traffic plan for the "
+                                 "overload/burst_absorption/"
+                                 "tenant_isolation experiments as "
+                                 "key=value,... (e.g. 'seed=3,"
+                                 "tenants=12,arrival=mmpp,rate=5e6,"
+                                 "deadline=40000'); default: built-in "
+                                 "plan")
     run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
                             help="shard the chosen experiments across N "
                                  "worker processes (default 1: serial)")
@@ -205,13 +226,15 @@ def normalize_argv(
 def config_from_args(args: argparse.Namespace) -> runner.ExperimentConfig:
     """Translate CLI flags into an ExperimentConfig."""
     backend = getattr(args, "backend", "interpreted")
+    service = getattr(args, "service", None)
     if args.quick:
         return runner.ExperimentConfig(
             scale=0.05, seed=args.seed, agents=3,
             workloads=("gemver", "doitg"), faults=args.faults,
-            backend=backend)
+            backend=backend, service=service)
     return runner.ExperimentConfig(scale=args.scale, seed=args.seed,
-                                   faults=args.faults, backend=backend)
+                                   faults=args.faults, backend=backend,
+                                   service=service)
 
 
 def _run_sharded(chosen: typing.List[str],
@@ -278,6 +301,14 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             config.fault_config()
         except ValueError as exc:
             print(f"invalid --faults plan: {exc}", file=sys.stderr)
+            return 2
+    if config.service is not None:
+        # Same up-front validation as --faults: a bad arrival rate or
+        # deadline names its field now, not minutes into a sweep.
+        try:
+            config.service_config()
+        except ValueError as exc:
+            print(f"invalid --service plan: {exc}", file=sys.stderr)
             return 2
     if args.timeseries is not None and not args.window > 0:
         print(f"--window must be > 0, got {args.window}", file=sys.stderr)

@@ -104,6 +104,9 @@ RESULT_NAMES: typing.Dict[str, str] = {
     "fig20": "fig20_power_gemver",
     "fig21": "fig21_power_doitg",
     "endurance": "endurance_reliability",
+    "overload": "service_overload",
+    "burst_absorption": "service_burst_absorption",
+    "tenant_isolation": "service_tenant_isolation",
 }
 
 

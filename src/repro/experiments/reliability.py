@@ -27,6 +27,7 @@ from repro.accel.isa import LoadOp, StoreOp
 from repro.controller import PramSubsystem, SchedulerPolicy
 from repro.experiments.runner import ExperimentConfig, format_table
 from repro.faults.plan import FaultConfig
+from repro.service.summary import outcome_summary
 from repro.sim import Simulator
 from repro.systems.base import input_pattern
 from repro.workloads.trace import BLOCK_BYTES, TraceBundle
@@ -103,6 +104,9 @@ def replay(bundle: TraceBundle,
         module.cell_tracker(partition).max_writes()
         for channel in subsystem.modules for module in channel
         for partition in range(module.geometry.partitions_per_bank))
+    failed = counts.get("requests_failed", 0.0)
+    degraded = counts.get("requests_degraded", 0.0)
+    corrected = counts.get("requests_corrected", 0.0)
     return {
         "bandwidth_mb_s": total_bytes / sim.now * 1e3,
         "requests": float(subsystem.requests_completed),
@@ -110,9 +114,10 @@ def replay(bundle: TraceBundle,
         "rows_retired": counts.get("rows_retired", 0.0),
         "ecc_corrected": counts.get("ecc_corrected_bits", 0.0),
         "ecc_uncorrectable": counts.get("ecc_uncorrectable", 0.0),
-        "unrecoverable_rate": (counts.get("requests_failed", 0.0)
-                               + counts.get("requests_degraded", 0.0))
-        / completed,
+        "corrected": corrected,
+        "degraded": degraded,
+        "failed": failed,
+        "unrecoverable_rate": (failed + degraded) / completed,
         "max_wear": float(max_wear),
     }
 
@@ -147,10 +152,16 @@ def report(result: typing.Dict) -> str:
     worst = result["rows"][-1]
     slowdown = (1.0 - worst["bandwidth_mb_s"] / baseline
                 if baseline > 0 else 0.0)
+    outcomes = outcome_summary({
+        "corrected": worst["corrected"],
+        "degraded": worst["degraded"],
+        "failed": worst["failed"],
+    })
     summary = (
         f"workload: {result['workload']}, fault seed: {result['seed']}\n"
         f"bandwidth lost at endurance="
         f"{worst['endurance']}: {slowdown:.1%}; unrecoverable requests: "
-        f"{worst['unrecoverable_rate']:.2%}"
+        f"{worst['unrecoverable_rate']:.2%}\n"
+        f"outcomes at endurance={worst['endurance']}: {outcomes}"
     )
     return f"Reliability: endurance sweep\n{table}\n{summary}"

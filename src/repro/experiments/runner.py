@@ -22,6 +22,7 @@ from repro.workloads.trace import TraceBundle
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.faults.plan import FaultConfig
+    from repro.service.config import ServiceConfig
 
 #: The 15 evaluated workloads in the figures' plotting order.
 EVAL_WORKLOADS: typing.Tuple[str, ...] = tuple(
@@ -54,6 +55,14 @@ class ExperimentConfig:
     #: replays an interpreted entry (and vice versa), even though the
     #: two are byte-identical by contract.
     backend: str = "interpreted"
+    #: Optional ``--service`` plan spec (``key=value,...``); None lets
+    #: the service experiments use their built-in default plan.  Kept
+    #: as the raw string (like ``faults``) so the config stays
+    #: trivially hashable — and, because the parallel runner keys its
+    #: cache on ``dataclasses.asdict(config)``, two runs with
+    #: different service plans (or seeds) can never replay each
+    #: other's cached cells.
+    service: typing.Optional[str] = None
 
     def system_config(self) -> SystemConfig:
         """SystemConfig this experiment runs under."""
@@ -69,6 +78,13 @@ class ExperimentConfig:
             return None
         from repro.faults.plan import FaultConfig
         return FaultConfig.parse(self.faults)
+
+    def service_config(self) -> typing.Optional["ServiceConfig"]:
+        """Parsed service plan, or None when no ``--service`` given."""
+        if self.service is None:
+            return None
+        from repro.service.config import ServiceConfig
+        return ServiceConfig.parse(self.service)
 
     def bundle(self, name: str,
                rounds: int | None = None) -> TraceBundle:

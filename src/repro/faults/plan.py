@@ -182,6 +182,28 @@ class FaultConfig:
         return cls(**values)
 
 
+def compose_service_retries(budget: int,
+                            plan: typing.Optional[FaultConfig]) -> int:
+    """Service-side retry budget after the device layer's claim.
+
+    The retry-composition contract between :mod:`repro.service` and
+    this package: ``budget`` is the **end-to-end** replay budget for
+    one request's data, and the device's bounded program-and-verify
+    retries (``max_program_retries``) spend from it *first*.  The
+    service layer may only replay a request with whatever remains, so
+    stacking a service retry policy on a fault plan tightens rather
+    than multiplies the total retry work — the anti-amplification
+    property that prevents retry storms under overload.  Without a
+    plan the device never retries and the service keeps the full
+    budget.
+    """
+    if budget < 0:
+        raise ValueError(f"retry budget must be >= 0, got {budget}")
+    if plan is None:
+        return budget
+    return max(0, budget - plan.max_program_retries)
+
+
 class FaultState:
     """Runtime fault decisions + counters for one subsystem instance.
 

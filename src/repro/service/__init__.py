@@ -1,0 +1,54 @@
+"""Open-loop multi-tenant service layer on the PRAM subsystem.
+
+The closed-loop figure reproductions submit a batch and wait; this
+package offers traffic *open-loop* — seeded Poisson / bursty MMPP /
+diurnal arrival processes across many tenants — and keeps the stack
+robust when that offered load exceeds capacity: bounded per-tenant
+admission queues with load shedding, deadline propagation on simulated
+time, budgeted exponential-backoff retries composed with the device's
+own fault-retry path, and a brownout controller that sheds optional
+work class by class instead of collapsing.
+
+Entry points: build a :class:`ServiceConfig` (or parse one from a
+``--service key=value,...`` spec), then drive a
+:class:`ServiceFrontend` over a subsystem, or use the ``overload`` /
+``burst_absorption`` / ``tenant_isolation`` experiments in
+:mod:`repro.experiments.service_sweeps`.
+"""
+
+from repro.service.arrivals import Arrival, merged_timeline, tenant_arrivals
+from repro.service.config import (
+    ARRIVAL_KINDS,
+    TENANT_CLASSES,
+    ServiceConfig,
+    TenantClass,
+    tenant_class,
+)
+from repro.service.frontend import (
+    ClassStats,
+    ServiceBackend,
+    ServiceFrontend,
+    ServiceRequest,
+    ServiceResult,
+    TenantStats,
+)
+from repro.service.summary import SEVERITY_ORDER, outcome_summary
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "Arrival",
+    "ClassStats",
+    "SEVERITY_ORDER",
+    "ServiceBackend",
+    "ServiceConfig",
+    "ServiceFrontend",
+    "ServiceRequest",
+    "ServiceResult",
+    "TENANT_CLASSES",
+    "TenantClass",
+    "TenantStats",
+    "merged_timeline",
+    "outcome_summary",
+    "tenant_arrivals",
+    "tenant_class",
+]

@@ -1,0 +1,45 @@
+"""Severity-ordered terminal reporting of request outcomes.
+
+One helper renders "what happened to the requests" for every
+experiment that can produce non-OK outcomes — the service sweeps
+(:mod:`repro.experiments.service_sweeps`) and the endurance sweep
+(:mod:`repro.experiments.reliability`) — so shed/timeout/degraded
+counts always appear in the same order and format, worst outcomes
+last.
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: All terminal request outcomes, least to most severe.  Extends the
+#: :class:`~repro.controller.request.RequestStatus` lattice (OK <
+#: CORRECTED < DEGRADED < FAILED) with the service layer's terminal
+#: outcomes: ``shed`` (rejected at admission, no device work) and
+#: ``timeout`` (deadline missed, queued or completed too late).
+SEVERITY_ORDER: typing.Tuple[str, ...] = (
+    "ok", "corrected", "degraded", "shed", "timeout", "failed")
+
+
+def outcome_summary(counts: typing.Mapping[str, float], *,
+                    include_ok: bool = False) -> str:
+    """Render outcome counts in severity order, zero counts omitted.
+
+    ``include_ok`` keeps the ``ok`` count even though it is not an
+    adverse outcome (service reports want the full ledger; the
+    endurance sweep only reports what went wrong).  Unknown keys in
+    ``counts`` raise — a misspelled outcome must not silently vanish
+    from a reliability report.
+    """
+    unknown = sorted(set(counts) - set(SEVERITY_ORDER))
+    if unknown:
+        raise ValueError(
+            f"unknown outcome(s) {unknown}; expected {SEVERITY_ORDER}")
+    parts = []
+    for name in SEVERITY_ORDER:
+        if name == "ok" and not include_ok:
+            continue
+        value = counts.get(name, 0)
+        if value or (name == "ok" and include_ok):
+            parts.append(f"{name}={int(value)}")
+    return ", ".join(parts) if parts else "all ok"

@@ -157,6 +157,24 @@ class Simulator:
         """Create an event that fires ``delay`` ns from now."""
         return Timeout(self, delay, value)
 
+    def deadline(self, at: float, value: object = None) -> Timeout:
+        """Create an event that fires at the absolute instant ``at``.
+
+        The service layer schedules arrival injections and deadline
+        sweeps against absolute simulated instants; expressing them as
+        relative timeouts at every call site invites drift bugs.  NaN
+        and past instants are rejected here (mirroring
+        :meth:`_schedule`'s delay validation) so a bad deadline fails
+        at creation, not as a negative-delay error deep in the heap.
+        """
+        if math.isnan(at):
+            raise ValueError("cannot schedule a deadline at NaN")
+        if at < self._now:
+            raise ValueError(
+                f"cannot schedule a deadline at {at} ns: clock already "
+                f"at {self._now} ns")
+        return Timeout(self, at - self._now, value)
+
     def process(self, generator: GeneratorType, name: str = "") -> Process:
         """Register a generator as a runnable process."""
         return Process(self, generator, name)

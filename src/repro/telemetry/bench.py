@@ -300,7 +300,7 @@ def merge_reports(fragments: typing.Sequence[BenchReport],
 #: — so `compare` refuses to diff them rather than report a phantom
 #: regression.
 MEASUREMENT_KEYS: typing.Tuple[str, ...] = (
-    "sketch", "timeseries_window_ns", "backend")
+    "sketch", "timeseries_window_ns", "backend", "service")
 
 
 def provenance_conflicts(

@@ -1,0 +1,149 @@
+"""The overload / burst-absorption / tenant-isolation sweeps."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import service_sweeps
+from repro.experiments.runner import ExperimentConfig
+from repro.service import ServiceConfig
+
+# A deliberately small plan so the full sweeps stay test-sized (the
+# window is still long enough for the goodput plateau to be stable).
+PLAN = ("seed=3,tenants=3,duration=60000,queue=4,workers=4,"
+        "deadline=20000")
+
+QUICK = ExperimentConfig(scale=0.05, agents=3, workloads=("doitg",),
+                         service=PLAN)
+
+
+def test_base_plan_prefers_the_cli_spec():
+    plan = service_sweeps.base_plan(QUICK)
+    assert plan == ServiceConfig.parse(PLAN)
+
+
+def test_base_plan_default_scales_with_footprint():
+    quick = service_sweeps.base_plan(ExperimentConfig(scale=0.05))
+    full = service_sweeps.base_plan(ExperimentConfig(scale=0.25))
+    assert quick.duration_ns < full.duration_ns
+    assert quick.seed == ExperimentConfig().seed
+
+
+def test_saturation_probe_is_positive_and_repeatable():
+    plan = ServiceConfig.parse(PLAN)
+    first = service_sweeps.sustainable_rate_rps(plan, None)
+    assert first > 0.0
+    assert service_sweeps.sustainable_rate_rps(plan, None) == first
+
+
+class TestOverload:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return service_sweeps.run_overload(QUICK)
+
+    def test_sweeps_every_multiplier(self, result):
+        assert [row["multiplier"] for row in result["rows"]] == list(
+            service_sweeps.OVERLOAD_MULTIPLIERS)
+        assert result["rate_max_rps"] > 0.0
+
+    def test_offered_load_grows_with_multiplier(self, result):
+        offered = [row["result"].offered for row in result["rows"]]
+        assert offered[-1] > offered[0]
+
+    def test_overload_sheds_instead_of_queueing_unboundedly(self, result):
+        worst = result["rows"][-1]["result"]
+        totals = worst.totals()
+        assert totals["shed"] + totals["timeout"] > 0
+        assert sum(totals.values()) == worst.offered
+
+    def test_report_includes_verdict_and_classes(self, result):
+        text = service_sweeps.report_overload(result)
+        assert "Service: overload sweep" in text
+        assert ("graceful degradation" in text
+                or "congestion collapse" in text)
+        for name in ("premium", "standard", "batch"):
+            assert name in text
+
+    def test_graceful_degradation_at_ten_x(self, result):
+        plateau = max(row["result"].goodput_rps
+                      for row in result["rows"]
+                      if row["multiplier"] >= 1.0)
+        worst = result["rows"][-1]["result"].goodput_rps
+        assert worst >= service_sweeps.COLLAPSE_THRESHOLD * plateau
+
+
+class TestBurst:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return service_sweeps.run_burst(QUICK)
+
+    def test_grid_covers_arrivals_and_depths(self, result):
+        cells = {(row["arrival"], row["queue_depth"])
+                 for row in result["rows"]}
+        assert cells == {
+            (arrival, depth)
+            for arrival in ("poisson", "mmpp", "diurnal")
+            for depth in service_sweeps.BURST_QUEUE_DEPTHS}
+
+    def test_deeper_queue_never_sheds_more(self, result):
+        by_arrival = {}
+        for row in result["rows"]:
+            by_arrival.setdefault(row["arrival"], {})[
+                row["queue_depth"]] = row["result"].totals()["shed"]
+        shallow, deep = service_sweeps.BURST_QUEUE_DEPTHS
+        for arrival, sheds in by_arrival.items():
+            assert sheds[deep] <= sheds[shallow]
+
+    def test_report_renders(self, result):
+        text = service_sweeps.report_burst(result)
+        assert "Service: burst absorption" in text
+        assert "mmpp" in text
+
+
+class TestIsolation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return service_sweeps.run_isolation(QUICK)
+
+    def test_two_arms(self, result):
+        assert [arm["arm"] for arm in result["arms"]] == [
+            "isolated", "shared"]
+        for arm in result["arms"]:
+            assert arm["result"].config.rogue_tenants >= 1
+
+    def test_rogue_offers_more_than_fair_share(self, result):
+        isolated = result["arms"][0]["result"]
+        rogue = isolated.tenants[0]
+        victims = isolated.tenants[1:]
+        assert victims
+        mean = sum(s.offered for s in victims) / len(victims)
+        assert rogue.offered > 2 * mean
+
+    def test_compliant_stats_exclude_the_rogue(self, result):
+        isolated = result["arms"][0]["result"]
+        compliant = isolated.class_stats(compliant_only=True)
+        everyone = isolated.class_stats()
+        assert (sum(s.offered for s in compliant.values())
+                == isolated.offered - isolated.tenants[0].offered)
+        assert (sum(s.offered for s in everyone.values())
+                == isolated.offered)
+
+    def test_report_states_the_verdict(self, result):
+        text = service_sweeps.report_isolation(result)
+        assert "Service: tenant isolation" in text
+        assert "isolated" in text and "shared" in text
+        assert ("hold their SLOs" in text or "VIOLATED" in text)
+
+
+def test_sweeps_are_deterministic():
+    first = service_sweeps.run_overload(QUICK)
+    second = service_sweeps.run_overload(QUICK)
+    assert (service_sweeps.report_overload(first)
+            == service_sweeps.report_overload(second))
+
+
+def test_faulted_sweep_runs(capsys):
+    config = dataclasses.replace(
+        QUICK, faults="seed=3,read_flip=0.001,program_fail=0.01,retries=1")
+    result = service_sweeps.run_overload(config)
+    assert service_sweeps.report_overload(result)

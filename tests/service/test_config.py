@@ -1,0 +1,162 @@
+"""Parse-time validation of the service traffic plan."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.service import ServiceConfig, TENANT_CLASSES, tenant_class
+
+
+class TestFieldValidation:
+    """Every nonsense value raises ValueError naming the field."""
+
+    @pytest.mark.parametrize("field,value", [
+        ("rate_rps", -1.0),
+        ("rate_rps", 0.0),
+        ("rate_rps", float("nan")),
+        ("rate_rps", float("inf")),
+        ("duration_ns", 0.0),
+        ("duration_ns", float("nan")),
+        ("deadline_ns", -5.0),
+        ("deadline_ns", float("nan")),
+        ("sweep_interval_ns", 0.0),
+        ("burst_ns", -1.0),
+        ("diurnal_period_ns", 0.0),
+        ("retry_backoff_ns", 0.0),
+        ("retry_backoff_ns", float("nan")),
+        ("backoff_multiplier", 0.5),
+        ("read_fraction", 1.5),
+        ("read_fraction", float("nan")),
+        ("burst_fraction", -0.1),
+        ("diurnal_amplitude", 1.0),
+        ("burst_factor", 0.9),
+        ("rogue_factor", 0.0),
+        ("brownout_high", 1.5),
+        ("brownout_low", 0.0),
+        ("tenants", 0),
+        ("queue_depth", 0),
+        ("workers", 0),
+        ("request_bytes", 0),
+        ("shared_queue", 2),
+    ])
+    def test_bad_value_names_field(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ServiceConfig(**{field: value})
+
+    def test_negative_retry_budget_names_field(self):
+        with pytest.raises(ValueError, match="retry_budget"):
+            ServiceConfig(retry_budget=-1)
+
+    def test_unknown_arrival_kind(self):
+        with pytest.raises(ValueError, match="arrival"):
+            ServiceConfig(arrival="lumpy")
+
+    def test_rogue_tenants_bounded_by_tenants(self):
+        with pytest.raises(ValueError, match="rogue_tenants"):
+            ServiceConfig(tenants=3, rogue_tenants=4)
+
+    def test_brownout_low_must_be_below_high(self):
+        with pytest.raises(ValueError, match="brownout_low"):
+            ServiceConfig(brownout_high=0.5, brownout_low=0.5)
+
+    def test_footprint_must_hold_one_request(self):
+        with pytest.raises(ValueError, match="footprint_bytes"):
+            ServiceConfig(request_bytes=512, footprint_bytes=256)
+
+    def test_default_plan_is_valid(self):
+        config = ServiceConfig()
+        assert config.tenants == 6
+        assert config.arrival == "poisson"
+
+
+class TestParse:
+    """The ``--service`` key=value spec parser."""
+
+    def test_aliases_map_to_fields(self):
+        config = ServiceConfig.parse(
+            "seed=7,rate=2e6,deadline=4e4,retries=3,queue=16,"
+            "backoff=500,size=256,sweep_ns=2500")
+        assert config.seed == 7
+        assert config.rate_rps == 2e6
+        assert config.deadline_ns == 4e4
+        assert config.retry_budget == 3
+        assert config.queue_depth == 16
+        assert config.retry_backoff_ns == 500.0
+        assert config.request_bytes == 256
+        assert config.sweep_interval_ns == 2500.0
+
+    def test_full_field_names_accepted(self):
+        config = ServiceConfig.parse(
+            "rate_rps=1e6,arrival=mmpp,burst_factor=4")
+        assert config.rate_rps == 1e6
+        assert config.arrival == "mmpp"
+        assert config.burst_factor == 4.0
+
+    def test_unknown_key_lists_known_keys(self):
+        with pytest.raises(ValueError, match="unknown service-plan key"):
+            ServiceConfig.parse("bogus=1")
+        with pytest.raises(ValueError, match="rate"):
+            ServiceConfig.parse("bogus=1")
+
+    def test_non_number_names_field(self):
+        with pytest.raises(ValueError,
+                           match="rate_rps expects a number"):
+            ServiceConfig.parse("rate=lots")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            ServiceConfig.parse("rate")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ServiceConfig.parse("   ")
+
+    def test_parsed_values_still_validated(self):
+        with pytest.raises(ValueError, match="deadline_ns"):
+            ServiceConfig.parse("deadline=-1")
+        with pytest.raises(ValueError, match="rate_rps"):
+            ServiceConfig.parse("rate=nan")
+
+
+class TestDerived:
+    """Derived rates and SLOs."""
+
+    def test_rate_per_ns_conversion(self):
+        assert ServiceConfig(rate_rps=1e9).rate_per_ns == 1.0
+
+    def test_fair_share_and_rogue_scaling(self):
+        config = ServiceConfig(tenants=4, rate_rps=4e6, rogue_tenants=1,
+                               rogue_factor=10.0)
+        share = config.rate_per_ns / 4
+        assert config.tenant_rate_per_ns(0) == pytest.approx(10 * share)
+        assert config.tenant_rate_per_ns(1) == pytest.approx(share)
+
+    def test_tenant_class_cycle(self):
+        names = [tenant_class(t).name for t in range(6)]
+        assert names == ["premium", "standard", "batch",
+                         "premium", "standard", "batch"]
+
+    def test_slo_scales_deadline(self):
+        config = ServiceConfig(deadline_ns=1000.0)
+        premium, standard, batch = TENANT_CLASSES
+        assert config.slo_p99_ns(premium) == 500.0
+        assert config.slo_p99_ns(standard) == 1000.0
+        assert config.slo_p99_ns(batch) == 2000.0
+
+    def test_shed_ranks_protect_premium(self):
+        ranks = {cls.name: cls.shed_rank for cls in TENANT_CLASSES}
+        assert ranks["batch"] < ranks["standard"] < ranks["premium"]
+
+    def test_config_is_hashable_and_frozen(self):
+        config = ServiceConfig()
+        hash(config)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 1
+
+    def test_no_nan_slips_through_every_float_field(self):
+        for field in dataclasses.fields(ServiceConfig):
+            if field.type not in ("float", float):
+                continue
+            with pytest.raises(ValueError, match=field.name):
+                ServiceConfig(**{field.name: math.nan})

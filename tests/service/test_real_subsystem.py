@@ -1,0 +1,94 @@
+"""Service front end against the real PRAM subsystem under faults.
+
+End-to-end checks that the :class:`RequestStatus` severity lattice
+propagates from the device's fault machinery through the service retry
+path into the tenant outcome ledger.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.controller import PramSubsystem, SchedulerPolicy
+from repro.faults.plan import FaultConfig
+from repro.service import ServiceConfig, ServiceFrontend
+from repro.sim import Simulator
+
+CONFIG = ServiceConfig(seed=9, tenants=3, rate_rps=3e5,
+                       duration_ns=100_000.0, deadline_ns=1e6,
+                       workers=4, retry_budget=4,
+                       read_fraction=0.5)
+
+
+def run_under_faults(config: ServiceConfig, faults: FaultConfig):
+    sim = Simulator()
+    subsystem = PramSubsystem(sim, policy=SchedulerPolicy.FINAL,
+                              faults=faults)
+    frontend = ServiceFrontend(sim, subsystem, config)
+    return frontend.run()
+
+
+def test_corrected_reads_surface_in_the_ledger():
+    # Aggressive single-bit read upsets: SEC-DED corrects them and the
+    # CORRECTED status must reach the tenant ledger, not collapse to OK.
+    plan = FaultConfig(seed=2, read_flip_probability=0.05)
+    result = run_under_faults(CONFIG, plan)
+    totals = result.totals()
+    assert totals["corrected"] > 0
+    assert totals["failed"] == 0
+    # Corrected completions are goodput and carry latency samples.
+    assert result.merged_sketch().count == result.goodput
+
+
+def test_degraded_reads_surface_in_the_ledger():
+    # Frequent double flips defeat SEC-DED: detected-uncorrectable
+    # reads complete DEGRADED.
+    plan = FaultConfig(seed=2, read_flip_probability=0.2,
+                       read_double_flip_probability=0.9)
+    result = run_under_faults(CONFIG, plan)
+    assert result.totals()["degraded"] > 0
+
+
+def test_program_failures_exercise_the_retry_path():
+    # Transient program failures: the device retries first (spending
+    # the composed budget), rows retire onto spares, and what remains
+    # transient may be replayed by the service within its share.
+    plan = FaultConfig(seed=2, program_fail_probability=0.2,
+                       max_program_retries=1,
+                       spare_rows_per_partition=2)
+    config = dataclasses.replace(CONFIG, retry_budget=4)
+    result = run_under_faults(config, plan)
+    totals = result.totals()
+    assert sum(totals.values()) == result.offered
+    assert result.goodput > 0
+
+
+def test_device_budget_consumes_service_budget():
+    # max_program_retries >= retry_budget: composition leaves the
+    # service zero replays, so no service retry may ever fire.
+    plan = FaultConfig(seed=2, program_fail_probability=0.3,
+                       max_program_retries=4)
+    config = dataclasses.replace(CONFIG, retry_budget=4)
+    result = run_under_faults(config, plan)
+    assert sum(stats.retries for stats in result.tenants) == 0
+
+
+def test_faulted_service_runs_repeat_identically():
+    plan = FaultConfig(seed=2, read_flip_probability=0.01,
+                       program_fail_probability=0.05,
+                       max_program_retries=1,
+                       spare_rows_per_partition=1)
+    first = run_under_faults(CONFIG, plan)
+    second = run_under_faults(CONFIG, plan)
+    assert first.totals() == second.totals()
+    assert first.elapsed_ns == second.elapsed_ns
+    assert ([s.retries for s in first.tenants]
+            == [s.retries for s in second.tenants])
+
+
+def test_null_fault_plan_matches_no_plan():
+    null = FaultConfig(seed=5)
+    with_null = run_under_faults(CONFIG, null)
+    without = run_under_faults(CONFIG, None)
+    assert with_null.totals() == without.totals()
+    assert with_null.elapsed_ns == without.elapsed_ns

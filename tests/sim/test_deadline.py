@@ -1,0 +1,65 @@
+"""Absolute-time deadline timers on the simulator."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_deadline_fires_at_the_absolute_instant():
+    sim = Simulator()
+    seen = []
+
+    def process():
+        yield sim.timeout(10.0)
+        yield sim.deadline(25.0)
+        seen.append(sim.now)
+
+    sim.process(process())
+    sim.run()
+    assert seen == [25.0]
+
+
+def test_deadline_at_current_instant_fires_immediately():
+    sim = Simulator()
+    seen = []
+
+    def process():
+        yield sim.timeout(5.0)
+        yield sim.deadline(5.0)
+        seen.append(sim.now)
+
+    sim.process(process())
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_deadline_carries_a_value():
+    sim = Simulator()
+    seen = []
+
+    def process():
+        seen.append((yield sim.deadline(3.0, "payload")))
+
+    sim.process(process())
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_deadline_in_the_past_is_rejected():
+    sim = Simulator()
+
+    def process():
+        yield sim.timeout(10.0)
+        sim.deadline(9.0)
+
+    done = sim.process(process())
+    sim.run()
+    assert not done.ok
+    with pytest.raises(ValueError, match="already"):
+        raise done.value
+
+
+def test_deadline_at_nan_is_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="NaN"):
+        sim.deadline(float("nan"))

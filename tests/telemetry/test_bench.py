@@ -186,6 +186,32 @@ def test_mismatched_backends_conflict():
     assert "compiled" in conflicts[0]
 
 
+def test_mismatched_service_plans_conflict():
+    # SLO metrics from different traffic plans are different
+    # measurements: the service stamp must gate compare like the
+    # sketch layout and backend stamps do.
+    conflicts = provenance_conflicts(
+        _stamped(service="none"),
+        _stamped(service="seed=7,rate=8e5"))
+    assert len(conflicts) == 1
+    assert "service" in conflicts[0]
+    assert "seed=7,rate=8e5" in conflicts[0]
+
+
+def test_compare_cli_refuses_mismatched_service_plans(tmp_path, capsys):
+    from repro.telemetry.__main__ import main as telemetry_main
+
+    baseline = tmp_path / "baseline.json"
+    candidate = tmp_path / "candidate.json"
+    write_bench(_stamped(service="none"), baseline)
+    write_bench(_stamped(service="seed=7,rate=8e5"), candidate)
+    assert telemetry_main(["compare", str(baseline),
+                           str(candidate)]) == 2
+    err = capsys.readouterr().err
+    assert "refusing to compare" in err
+    assert "service" in err
+
+
 def test_compare_cli_refuses_mismatched_backends(tmp_path, capsys):
     from repro.telemetry.__main__ import main as telemetry_main
 
